@@ -1,0 +1,36 @@
+"""Shared fixtures/utilities for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation called out in DESIGN.md) and prints the corresponding rows next to
+the paper's published values, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a paper-vs-measured report (EXPERIMENTS.md is written from the same
+numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, lines) -> None:
+    """Print a small report block that survives pytest's capture when -s is
+    not given (it is shown for failed tests and in --capture=no runs)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture
+def single_run_benchmark(benchmark):
+    """A pytest-benchmark wrapper for heavyweight whole-machine simulations:
+    one warm-up-free round, one iteration."""
+
+    def run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,160 @@
+"""A3/A4 -- inter-node ablations.
+
+A3: caching remote data in local DRAM (Section 4.3) vs non-cached remote
+    access (Section 4.2) for a kernel that repeatedly reads the same remote
+    block: the coherent runtime pays one block fetch and then runs at local
+    speed, the non-cached runtime pays the full remote latency every time.
+
+A4: return-to-sender throttling (Section 4.1): a producer flooding a consumer
+    completes correctly whether or not the consumer's queue is large, and a
+    small send-credit pool bounds the number of in-flight messages.
+"""
+
+import pytest
+
+from conftest import report
+from repro import MMachine, MachineConfig
+from repro.core.stats import format_table
+from repro.workloads.synthetic import remote_store_sender_program
+
+REGION = 0x40000
+REPEATS = 16
+
+
+def _repeated_remote_read_program(repeats=REPEATS):
+    return f"""
+        mov i3, #0
+        mov i5, #0
+loop:   ld i4, i1          ; read the same remote word
+        add i5, i5, i4
+        add i3, i3, #1
+        lt i6, i3, #{repeats}
+        br i6, loop
+        halt
+    """
+
+
+def _run_repeated_reads(mode):
+    config = MachineConfig.small(2, 1, 1)
+    config.runtime.shared_memory_mode = mode
+    machine = MMachine(config)
+    machine.map_on_node(1, REGION, num_pages=1)
+    machine.write_word(REGION, 3)
+    machine.load_hthread(0, 0, 0, _repeated_remote_read_program(),
+                         registers={"i1": REGION})
+    machine.run_until_user_done(max_cycles=200000)
+    assert machine.register_value(0, 0, 0, "i5") == 3 * REPEATS
+    return machine.cycle
+
+
+def _caching_ablation():
+    return {mode: _run_repeated_reads(mode) for mode in ("remote", "coherent")}
+
+
+def _run_flood(send_credits, queue_words, messages=24):
+    config = MachineConfig.small(2, 1, 1)
+    config.network.send_credits = send_credits
+    config.network.message_queue_words = queue_words
+    config.network.retransmit_interval = 16
+    machine = MMachine(config)
+    machine.map_on_node(1, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, messages))
+    machine.run_until_user_done(max_cycles=400000)
+    delivered = all(machine.read_word(REGION + i) != 0 for i in range(messages))
+    return {
+        "cycles": machine.cycle,
+        "delivered": delivered,
+        "nacks": machine.nodes[0].net.nacks_received,
+        "retransmissions": machine.nodes[0].net.retransmissions,
+        "max_queue_words": machine.nodes[1].msg_queue_p0.max_occupancy,
+    }
+
+
+def _run_many_to_one_flood(queue_words, senders=3, messages_each=8):
+    """Three producers on a 2x2 mesh flood one consumer; with a tiny consumer
+    queue the bursts overflow it and exercise the NACK/retransmit path."""
+    from repro.workloads.synthetic import many_to_one_store_programs
+
+    config = MachineConfig.small(2, 2, 1)
+    config.network.message_queue_words = queue_words
+    config.network.retransmit_interval = 16
+    machine = MMachine(config)
+    machine.map_on_node(0, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    programs = many_to_one_store_programs(senders, messages_each, REGION, dip)
+    for sender, program in programs.items():
+        machine.load_hthread(sender + 1, 0, 0, program)
+    machine.run_until_user_done(max_cycles=400000)
+    total = senders * messages_each
+    delivered = all(machine.read_word(REGION + i) != 0 for i in range(total))
+    return {
+        "cycles": machine.cycle,
+        "delivered": delivered,
+        "nacks": sum(node.net.nacks_received for node in machine.nodes),
+        "retransmissions": sum(node.net.retransmissions for node in machine.nodes),
+        "max_queue_words": machine.nodes[0].msg_queue_p0.max_occupancy,
+    }
+
+
+def _throttle_ablation():
+    return {
+        "large credits / large queue": _run_flood(send_credits=16, queue_words=128),
+        "small credits / large queue": _run_flood(send_credits=2, queue_words=128),
+        "3-to-1 flood / tiny queue": _run_many_to_one_flood(queue_words=6),
+        "3-to-1 flood / large queue": _run_many_to_one_flood(queue_words=128),
+    }
+
+
+@pytest.fixture(scope="module")
+def caching_results():
+    return _caching_ablation()
+
+
+@pytest.fixture(scope="module")
+def throttle_results():
+    return _throttle_ablation()
+
+
+def test_ablation_dram_caching(single_run_benchmark, caching_results):
+    results = single_run_benchmark(_caching_ablation)
+    rows = [
+        ["non-cached remote access (Section 4.2)", results["remote"]],
+        ["DRAM caching with block-status bits (Section 4.3)", results["coherent"]],
+    ]
+    report(
+        f"Ablation A3: {REPEATS} repeated reads of one remote word",
+        [format_table(["runtime", "total cycles"], rows)],
+    )
+    assert results["coherent"] < results["remote"]
+
+
+def test_ablation_throttling(single_run_benchmark, throttle_results):
+    results = single_run_benchmark(_throttle_ablation)
+    rows = [[name, data["cycles"], data["delivered"], data["nacks"],
+             data["retransmissions"], data["max_queue_words"]]
+            for name, data in results.items()]
+    report(
+        "Ablation A4: 24-message flood under different throttling settings",
+        [format_table(["configuration", "cycles", "all delivered", "NACKs",
+                       "retransmissions", "peak queue words"], rows)],
+    )
+    assert all(data["delivered"] for data in results.values())
+
+
+class TestInternodeAblationShape:
+    def test_caching_beats_non_cached_by_a_large_factor(self, caching_results):
+        assert caching_results["remote"] > 2 * caching_results["coherent"]
+
+    def test_small_credit_pool_still_completes(self, throttle_results):
+        assert throttle_results["small credits / large queue"]["delivered"]
+
+    def test_tiny_queue_forces_return_to_sender(self, throttle_results):
+        data = throttle_results["3-to-1 flood / tiny queue"]
+        assert data["nacks"] > 0
+        assert data["retransmissions"] > 0
+        assert data["delivered"]
+
+    def test_throttled_runs_are_slower_but_correct(self, throttle_results):
+        base = throttle_results["3-to-1 flood / large queue"]["cycles"]
+        assert throttle_results["3-to-1 flood / tiny queue"]["cycles"] >= base

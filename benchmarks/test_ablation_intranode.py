@@ -1,0 +1,108 @@
+"""A1/A2 -- intra-node ablations.
+
+A1: V-Thread interleaving as latency tolerance (Section 3.2): throughput of
+    1..4 pointer-chasing V-Threads sharing one cluster.  Interleaving should
+    hide most of each thread's memory latency.
+
+A2: thread-selection policy (Section 3.4): the MAP's zero-cost interleaving
+    preserves single-thread performance, whereas HEP/MASA-style barrel
+    scheduling degrades it by the number of thread contexts.
+"""
+
+import pytest
+
+from conftest import report
+from repro import MMachine, MachineConfig
+from repro.core.stats import format_table
+from repro.workloads.microbench import (
+    build_pointer_chain,
+    compute_loop_program,
+    dependent_load_chain_program,
+)
+
+HEAP = 0x10000
+CHAIN_LOADS = 24
+
+
+def _run_vthreads(num_threads):
+    machine = MMachine(MachineConfig.single_node())
+    machine.map_on_node(0, HEAP, num_pages=4)
+    for address, value in build_pointer_chain(32, HEAP, stride=16):
+        machine.write_word(address, value)
+    for slot in range(num_threads):
+        machine.load_hthread(0, slot, 0, dependent_load_chain_program(CHAIN_LOADS),
+                             registers={"i1": HEAP})
+    machine.run_until_user_done(max_cycles=100000)
+    return machine.cycle
+
+
+def _vthread_sweep():
+    return {threads: _run_vthreads(threads) for threads in (1, 2, 3, 4)}
+
+
+def _run_policy(policy, iterations=100):
+    config = MachineConfig.single_node()
+    config.cluster.issue_policy = policy
+    machine = MMachine(config)
+    machine.load_hthread(0, 0, 0, compute_loop_program(iterations))
+    machine.run_until_user_done(max_cycles=100000)
+    return machine.cycle
+
+
+def _policy_sweep():
+    return {policy: _run_policy(policy) for policy in ("event-priority", "round-robin", "hep")}
+
+
+@pytest.fixture(scope="module")
+def vthread_results():
+    return _vthread_sweep()
+
+
+@pytest.fixture(scope="module")
+def policy_results():
+    return _policy_sweep()
+
+
+def test_ablation_vthread_latency_tolerance(single_run_benchmark, vthread_results):
+    results = single_run_benchmark(_vthread_sweep)
+    baseline = results[1]
+    rows = [[threads, cycles, round(threads * baseline / cycles, 2)]
+            for threads, cycles in sorted(results.items())]
+    report(
+        "Ablation A1: V-Thread interleaving on one cluster "
+        "(pointer-chasing threads, higher speedup = better latency tolerance)",
+        [format_table(["V-Threads", "total cycles", "work/time vs 1 thread"], rows)],
+    )
+    assert results[4] < 4 * baseline
+
+
+def test_ablation_issue_policy(single_run_benchmark, policy_results):
+    results = single_run_benchmark(_policy_sweep)
+    rows = [[policy, cycles] for policy, cycles in results.items()]
+    report(
+        "Ablation A2: thread-selection policy, single resident thread "
+        "(arithmetic loop; HEP-style barrel scheduling exposes the empty slots)",
+        [format_table(["policy", "cycles"], rows)],
+    )
+    assert results["hep"] > results["event-priority"]
+
+
+class TestIntranodeAblationShape:
+    def test_interleaving_hides_most_latency(self, vthread_results):
+        """Four chasing threads finish in much less than 4x one thread's
+        time: the cluster issues another thread's load while one waits."""
+        assert vthread_results[4] < 2.0 * vthread_results[1]
+
+    def test_throughput_improves_with_threads(self, vthread_results):
+        per_thread_cost = [vthread_results[n] / n for n in (1, 2, 3, 4)]
+        # More resident V-Threads always beat running alone; the curve is not
+        # strictly monotone because bank and memory-interface contention grow
+        # with occupancy.
+        assert all(cost < per_thread_cost[0] for cost in per_thread_cost[1:])
+
+    def test_hep_degrades_single_thread_by_context_count(self, policy_results):
+        ratio = policy_results["hep"] / policy_results["event-priority"]
+        assert ratio > 3      # six contexts; handler residency keeps it below 6
+
+    def test_round_robin_close_to_event_priority_for_single_thread(self, policy_results):
+        assert policy_results["round-robin"] <= policy_results["event-priority"] * 1.2

@@ -1,0 +1,81 @@
+"""E2 -- Figure 6: loop synchronisation between H-Threads using the global
+condition-code registers, plus the 4-way barrier extension the paper sketches
+("this protocol can easily be extended to perform a fast barrier among 4
+H-Threads ... without combining or distribution trees")."""
+
+import pytest
+
+from conftest import report
+from repro import MMachine, MachineConfig
+from repro.core.stats import format_table
+from repro.workloads.microbench import cc_barrier_programs, cc_loop_sync_programs
+
+ITERATIONS = 50
+
+
+def _run_cc_loop(iterations=ITERATIONS):
+    machine = MMachine(MachineConfig.single_node())
+    machine.load_vthread(0, 0, cc_loop_sync_programs(iterations))
+    machine.run_until_user_done(max_cycles=100000)
+    return machine
+
+
+def _run_barrier(iterations=ITERATIONS, clusters=4):
+    machine = MMachine(MachineConfig.single_node())
+    machine.load_vthread(0, 0, cc_barrier_programs(iterations, clusters))
+    machine.run_until_user_done(max_cycles=400000)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def results():
+    loop_machine = _run_cc_loop()
+    barrier_machine = _run_barrier()
+    return {
+        "loop_cycles": loop_machine.cycle,
+        "loop_per_iteration": loop_machine.cycle / ITERATIONS,
+        "barrier_cycles": barrier_machine.cycle,
+        "barrier_per_iteration": barrier_machine.cycle / ITERATIONS,
+        "loop_machine": loop_machine,
+        "barrier_machine": barrier_machine,
+    }
+
+
+def test_fig6_cc_synchronisation(single_run_benchmark, results):
+    machine = single_run_benchmark(_run_cc_loop)
+    rows = [
+        ["2 H-Thread interlocked loop", ITERATIONS, machine.cycle,
+         round(machine.cycle / ITERATIONS, 2)],
+        ["4 H-Thread CC barrier", ITERATIONS, results["barrier_cycles"],
+         round(results["barrier_per_iteration"], 2)],
+    ]
+    report("Figure 6: CC-register synchronisation cost",
+           [format_table(["kernel", "iterations", "cycles", "cycles/iteration"], rows)])
+    assert machine.register_value(0, 0, 0, "i2") == ITERATIONS
+
+
+class TestFig6Shape:
+    def test_both_threads_complete_every_iteration(self, results):
+        machine = results["loop_machine"]
+        assert machine.register_value(0, 0, 0, "i2") == ITERATIONS
+        assert machine.register_value(0, 0, 1, "i2") == ITERATIONS
+
+    def test_neither_thread_runs_ahead(self, results):
+        """The interlock costs a handful of cycles per iteration (broadcast +
+        consume + notify), far less than a memory-based barrier would."""
+        per_iteration = results["loop_per_iteration"]
+        assert 5 <= per_iteration <= 25
+
+    def test_barrier_scales_to_four_clusters_without_trees(self, results):
+        machine = results["barrier_machine"]
+        for cluster in range(4):
+            assert machine.register_value(0, 0, cluster, "i2") == ITERATIONS
+        # Two-phase barrier over replicated CC registers: tens of cycles per
+        # iteration, not hundreds.
+        assert results["barrier_per_iteration"] <= 60
+
+    def test_no_memory_traffic_needed(self, results):
+        """Synchronisation happens entirely through registers: no loads or
+        stores are issued by either kernel."""
+        machine = results["loop_machine"]
+        assert machine.nodes[0].memory.requests_accepted == 0

@@ -1,0 +1,82 @@
+"""E6 -- Figure 8: GTLB page-group mapping and interleaving.
+
+Figure 8 is the format of a GDT/GTLB entry; its behavioural content is the
+spectrum of block and cyclic interleavings a single entry can express.  This
+benchmark sweeps a page-group over a 2x2x2 mesh for several pages-per-node
+settings, reports the resulting distribution of pages per node, and measures
+GTLB translation throughput.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.stats import format_table
+from repro.network.gtlb import GlobalDestinationTable, Gtlb, GtlbEntry
+
+PAGE_SIZE = 512
+
+
+def _distribution(pages_per_node, num_pages=64):
+    entry = GtlbEntry(base_page=0, page_group_length=num_pages, start_node=(0, 0, 0),
+                      extent=(1, 1, 1), pages_per_node=pages_per_node,
+                      page_size_words=PAGE_SIZE)
+    counts = {}
+    placements = []
+    for page in range(num_pages):
+        coords = entry.node_coords_of(page * PAGE_SIZE)
+        counts[coords] = counts.get(coords, 0) + 1
+        placements.append(coords)
+    return entry, counts, placements
+
+
+def _translation_throughput(lookups=5000):
+    gdt = GlobalDestinationTable()
+    gdt.add(GtlbEntry(base_page=0, page_group_length=64, start_node=(0, 0, 0),
+                      extent=(1, 1, 1), pages_per_node=2, page_size_words=PAGE_SIZE))
+    gtlb = Gtlb(gdt)
+    for index in range(lookups):
+        gtlb.node_coords_of((index * 37) % (64 * PAGE_SIZE))
+    return gtlb
+
+
+def test_fig8_gtlb_mapping(benchmark):
+    gtlb = benchmark(_translation_throughput)
+    rows = []
+    for pages_per_node in (1, 2, 8):
+        _, counts, placements = _distribution(pages_per_node)
+        rows.append([
+            pages_per_node,
+            len(counts),
+            min(counts.values()),
+            max(counts.values()),
+            " -> ".join(str(c) for c in placements[:4]) + " ...",
+        ])
+    report(
+        "Figure 8: page-group interleaving over a 2x2x2 region (64 pages)",
+        [format_table(
+            ["pages/node", "nodes used", "min pages", "max pages", "first placements"],
+            rows),
+         f"GTLB hit rate over the sweep: {gtlb.hit_rate:.3f}"],
+    )
+    assert gtlb.hit_rate > 0.9
+
+
+class TestFig8Shape:
+    @pytest.mark.parametrize("pages_per_node", [1, 2, 4, 8])
+    def test_pages_spread_evenly(self, pages_per_node):
+        _, counts, _ = _distribution(pages_per_node)
+        assert len(counts) == 8
+        assert max(counts.values()) == min(counts.values()) == 8
+
+    def test_cyclic_interleaving_alternates_nodes(self):
+        _, _, placements = _distribution(pages_per_node=1)
+        assert placements[0] != placements[1]
+
+    def test_block_interleaving_keeps_runs_together(self):
+        _, _, placements = _distribution(pages_per_node=8)
+        assert placements[0] == placements[7]
+        assert placements[7] != placements[8]
+
+    def test_entry_packs_into_figure8_fields(self):
+        entry, _, _ = _distribution(pages_per_node=2)
+        assert GtlbEntry.unpack(entry.pack(), PAGE_SIZE) == entry

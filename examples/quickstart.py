@@ -1,0 +1,56 @@
+"""Quickstart: build a small M-Machine, run a program, look at the results.
+
+Builds a two-node machine (2x1x1 mesh), maps a page of the global address
+space on node 0, runs a tiny read-modify-write program on one H-Thread, and
+prints the machine statistics.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MMachine, MachineConfig
+
+HEAP = 0x10000
+
+
+def main() -> None:
+    config = MachineConfig.small(2, 1, 1)
+    machine = MMachine(config)
+
+    # Map one page of the flat global virtual address space onto node 0 and
+    # initialise a word.
+    machine.map_on_node(0, HEAP, num_pages=1)
+    machine.write_word(HEAP, 41)
+
+    # A three-instruction H-Thread: load, increment, store.
+    machine.load_hthread(
+        node_id=0,
+        slot=0,
+        cluster=0,
+        program="""
+            ld   i2, i1          ; load the word
+            add  i2, i2, #1      ; increment it
+            st   i2, i1          ; store it back
+            halt
+        """,
+        registers={"i1": HEAP},
+    )
+
+    machine.run_until_user_done()
+
+    print(f"memory word after the run : {machine.read_word(HEAP)}")
+    print(f"cycles simulated          : {machine.cycle}")
+    stats = machine.stats()
+    print(f"instructions issued       : {stats.total_instructions}")
+    print(f"cache hit rate            : {stats.cache_hit_rate:.2f}")
+    print()
+    print("Per-node summary:")
+    for node_stats in stats.node_stats:
+        issued = sum(cluster["instructions_issued"] for cluster in node_stats["clusters"])
+        print(f"  node {node_stats['node_id']} at {node_stats['coords']}: "
+              f"{issued} instructions, {node_stats['messages_sent']} messages sent")
+
+    assert machine.read_word(HEAP) == 42
+
+
+if __name__ == "__main__":
+    main()

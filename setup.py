@@ -1,0 +1,7 @@
+"""Compatibility shim so environments without the ``wheel`` package can still
+do an editable install (``python setup.py develop`` or legacy
+``pip install -e .``).  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

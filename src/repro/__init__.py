@@ -1,0 +1,81 @@
+"""repro: a reproduction of "The M-Machine Multicomputer" (Fillo, Keckler,
+Dally, Carter, Chang, Gurevich & Lee, 1995).
+
+The package provides a cycle-level simulator of the MAP multi-ALU processor,
+the 3-D mesh multicomputer built from it, and the software runtime (event,
+message and coherence handlers) that the paper's evaluation depends on,
+together with the workloads and analysis harnesses that regenerate the
+paper's tables and figures.
+
+Quick start::
+
+    from repro import MMachine, MachineConfig
+
+    machine = MMachine(MachineConfig.small(2, 1, 1))
+    machine.map_on_node(0, 0x10000, num_pages=1)
+    machine.write_word(0x10000, 41)
+    machine.load_hthread(0, slot=0, cluster=0,
+                         program="ld i2, i1\\nadd i2, i2, #1\\nst i2, i1\\nhalt",
+                         registers={"i1": 0x10000})
+    machine.run_until_user_done()
+    assert machine.read_word(0x10000) == 42
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured results.
+"""
+
+from repro.core.config import (
+    ClusterConfig,
+    MachineConfig,
+    MemoryConfig,
+    NetworkConfig,
+    NodeConfig,
+    RuntimeConfig,
+    EVENT_SLOT,
+    EXCEPTION_SLOT,
+    NUM_CLUSTERS,
+    NUM_VTHREAD_SLOTS,
+)
+from repro.core.machine import MMachine
+from repro.core.stats import MachineStats, format_table
+from repro.core.area_model import AreaModel, TechnologyPoint, TECH_1993, TECH_1996
+from repro.core.latency_model import LatencyModel, PAPER_TABLE1, PAPER_REMOTE_READ_STEPS
+from repro.isa import Program, assemble, AssemblyError
+from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
+from repro.memory.page_table import BlockStatus
+from repro.runtime.loader import SharedArray, make_shared_array
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MMachine",
+    "MachineConfig",
+    "ClusterConfig",
+    "MemoryConfig",
+    "NetworkConfig",
+    "NodeConfig",
+    "RuntimeConfig",
+    "EVENT_SLOT",
+    "EXCEPTION_SLOT",
+    "NUM_CLUSTERS",
+    "NUM_VTHREAD_SLOTS",
+    "MachineStats",
+    "format_table",
+    "AreaModel",
+    "TechnologyPoint",
+    "TECH_1993",
+    "TECH_1996",
+    "LatencyModel",
+    "PAPER_TABLE1",
+    "PAPER_REMOTE_READ_STEPS",
+    "Program",
+    "assemble",
+    "AssemblyError",
+    "GuardedPointer",
+    "PointerPermission",
+    "ProtectionError",
+    "BlockStatus",
+    "SharedArray",
+    "make_shared_array",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Analysis helpers: latency measurement (Table 1), timelines (Figure 9) and
+report formatting used by the benchmark harness."""
+
+from repro.analysis.latency import (
+    AccessLatencyHarness,
+    measure_load_latency,
+    measure_store_latency,
+)
+from repro.analysis.timeline import Timeline, TimelineEvent, extract_remote_access_timeline
+
+__all__ = [
+    "AccessLatencyHarness",
+    "measure_load_latency",
+    "measure_store_latency",
+    "Timeline",
+    "TimelineEvent",
+    "extract_remote_access_timeline",
+]

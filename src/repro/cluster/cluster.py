@@ -1,0 +1,609 @@
+"""The MAP execution cluster model.
+
+A cluster holds the register state of all six resident V-Thread slots (one
+H-Thread context per slot), an instruction cache, the three function units
+and the synchronization stage that interleaves the H-Threads cycle by cycle
+(Sections 2, 3.1 and 3.2 of the paper).
+
+The cluster is driven by its node (the MAP chip) in three phases per cycle:
+
+1. :meth:`Cluster.apply_writebacks` -- results of previously issued
+   operations (and register writes delivered by the C-Switch) become visible
+   and set their scoreboard bits full;
+2. the node advances the memory system and switches;
+3. :meth:`Cluster.issue` -- the synchronization stage picks at most one ready
+   instruction from the resident H-Threads and issues all of its operations.
+
+Because writebacks are applied before issue, an operation of latency *L*
+issued at cycle *t* can feed a dependent instruction at cycle *t + L*, and a
+cache-hit load (memory-system latency of two cycles plus the two switch
+traversals) satisfies a dependent instruction three cycles after issue, as in
+Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.functional_units import (
+    ArithmeticFault,
+    OperandError,
+    evaluate_operation,
+    has_value_semantics,
+)
+from repro.cluster.hthread import HThreadContext, ThreadState
+from repro.cluster.icache import InstructionCache
+from repro.cluster.issue import make_issue_policy
+from repro.core.config import (
+    ClusterConfig,
+    EVENT_SLOT,
+    EXCEPTION_SLOT,
+    NodeConfig,
+)
+from repro.events.records import EventRecord, EventType
+from repro.isa.instruction import Instruction
+from repro.isa.operations import LabelRef, Operation, SYNC_CONDITIONS, Unit
+from repro.isa.registers import RegFile, RegisterRef
+from repro.isa.program import Program
+from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
+from repro.memory.page_table import BlockStatus
+from repro.memory.requests import MemOpKind, MemRequest
+
+
+@dataclass
+class RegWrite:
+    """A register write travelling over the C-Switch (inter-cluster register
+    writes, global-CC broadcasts, memory-system responses and privileged
+    ``xregwr`` writes)."""
+
+    vthread: int
+    ref: RegisterRef
+    value: object
+    #: Clear one pending-write reservation on arrival (set for writes that
+    #: complete an operation issued by the destination thread, e.g. load
+    #: responses and handler ``xregwr`` completions of faulted loads).
+    clear_pending: bool = False
+    #: Human-readable origin, for traces.
+    origin: str = ""
+
+
+@dataclass
+class _Writeback:
+    due_cycle: int
+    slot: int
+    ref: RegisterRef
+    value: object
+    clear_pending: bool = True
+
+
+class SimulationError(Exception):
+    """Raised for malformed programs (e.g. a remote register used as a source)."""
+
+
+class Cluster:
+    """One of the four execution clusters of a MAP chip."""
+
+    def __init__(
+        self,
+        cluster_id: int,
+        node,
+        config: Optional[ClusterConfig] = None,
+        node_config: Optional[NodeConfig] = None,
+    ):
+        self.id = cluster_id
+        self.node = node
+        self.config = config or ClusterConfig()
+        self.node_config = node_config or NodeConfig()
+        self.contexts: List[HThreadContext] = [
+            HThreadContext(slot=slot, cluster_id=cluster_id, config=self.config)
+            for slot in range(self.node_config.num_vthread_slots)
+        ]
+        self.icache = InstructionCache(self.config, name=f"n{getattr(node, 'node_id', '?')}c{cluster_id}")
+        self.policy = make_issue_policy(self.config, self.node_config.num_vthread_slots)
+        self._writebacks: List[_Writeback] = []
+        # Statistics
+        self.instructions_issued = 0
+        self.operations_issued = 0
+        self.operations_by_unit = Counter()
+        self.idle_cycles = 0
+        self.no_ready_cycles = 0
+        self.issue_by_slot = Counter()
+        self.exceptions_raised = 0
+
+    # ------------------------------------------------------------------ loading
+
+    def load_program(
+        self,
+        slot: int,
+        program: Program,
+        initial_registers: Optional[dict] = None,
+        entry: Optional[str] = None,
+    ) -> HThreadContext:
+        context = self.contexts[slot]
+        self.icache.load(slot, program)
+        context.load(program, initial_registers, entry)
+        return context
+
+    def context(self, slot: int) -> HThreadContext:
+        return self.contexts[slot]
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def busy(self) -> bool:
+        """True while any resident H-Thread has not halted or writebacks are
+        outstanding."""
+        return (
+            any(ctx.state is ThreadState.RUNNABLE for ctx in self.contexts)
+            or bool(self._writebacks)
+        )
+
+    @property
+    def user_threads_finished(self) -> bool:
+        return all(
+            ctx.finished
+            for ctx in self.contexts
+            if ctx.slot not in (EVENT_SLOT, EXCEPTION_SLOT)
+        )
+
+    # --------------------------------------------------------------- writebacks
+
+    def apply_writebacks(self, cycle: int) -> None:
+        remaining = []
+        for wb in self._writebacks:
+            if wb.due_cycle <= cycle:
+                self._write_register(wb.slot, wb.ref, wb.value, wb.clear_pending)
+            else:
+                remaining.append(wb)
+        self._writebacks = remaining
+
+    def receive(self, write: RegWrite, cycle: int) -> None:
+        """Apply a register write delivered by the C-Switch."""
+        self._write_register(write.vthread, write.ref, write.value, write.clear_pending)
+
+    def _write_register(self, slot: int, ref: RegisterRef, value, clear_pending: bool) -> None:
+        registers = self.contexts[slot].registers
+        registers.write(ref.local(), value)
+        if clear_pending:
+            registers.clear_pending(ref.local())
+
+    # -------------------------------------------------------------------- issue
+
+    def issue(self, cycle: int) -> bool:
+        """Run the synchronization stage for one cycle; returns True if an
+        instruction issued."""
+        resident = [ctx.slot for ctx in self.contexts if ctx.is_runnable]
+        if not resident:
+            self.idle_cycles += 1
+            return False
+
+        for slot in self.policy.candidate_order(cycle, resident):
+            context = self.contexts[slot]
+            if not context.is_runnable:
+                continue
+            instruction = self.icache.fetch(slot, context.pc)
+            if instruction is None:
+                # Running off the end of the program is an implicit halt.
+                context.halt(cycle)
+                continue
+            ready, reason = self._instruction_ready(context, instruction)
+            if not ready:
+                context.record_stall(reason)
+                continue
+            if context.start_cycle is None:
+                context.start_cycle = cycle
+            self._execute_instruction(context, instruction, cycle)
+            self.instructions_issued += 1
+            self.operations_issued += len(instruction)
+            for unit in instruction.ops:
+                self.operations_by_unit[unit.value] += 1
+            self.issue_by_slot[slot] += 1
+            context.instructions_issued += 1
+            context.operations_issued += len(instruction)
+            self.policy.issued(slot)
+            return True
+
+        self.no_ready_cycles += 1
+        return False
+
+    # ---------------------------------------------------------------- readiness
+
+    def _queue_for(self, context: HThreadContext, name: str):
+        return self.node.queue_for(self.id, context.slot, name)
+
+    def _instruction_ready(self, context: HThreadContext, instruction: Instruction) -> Tuple[bool, str]:
+        registers = context.registers
+        queue_needs: Counter = Counter()
+
+        for op in instruction.operations:
+            for src in op.srcs:
+                if not isinstance(src, RegisterRef):
+                    continue
+                if src.is_queue:
+                    queue_needs[src.name] += 1
+                elif src.is_identity:
+                    continue
+                elif src.is_remote:
+                    raise SimulationError(
+                        f"remote register {src} cannot be used as a source operand "
+                        f"(instruction {instruction})"
+                    )
+                elif not registers.is_full(src):
+                    return False, f"operand {src} empty"
+
+            for dest in op.dests:
+                if dest.is_remote or dest.file is RegFile.GCC:
+                    continue
+                if registers.is_pending(dest):
+                    return False, f"destination {dest} has a write in flight"
+
+            if op.opcode.is_send:
+                ready, reason = self._send_ready(context, op)
+                if not ready:
+                    return False, reason
+
+            if op.opcode.is_memory and not self.node.memory_port_available(self.id):
+                return False, "memory port busy"
+
+        for name, count in queue_needs.items():
+            queue = self._queue_for(context, name)
+            if queue is None:
+                # Not a legal queue for this H-Thread: let execution raise the
+                # privilege exception.
+                continue
+            if len(queue) < count:
+                return False, f"{name} queue empty"
+
+        return True, ""
+
+    def _send_ready(self, context: HThreadContext, op: Operation) -> Tuple[bool, str]:
+        length = self._send_length(op)
+        if length is None:
+            return False, "send length must be an immediate"
+        for index in range(length):
+            mc_ref = RegisterRef(RegFile.MC, index)
+            if not context.registers.is_full(mc_ref):
+                return False, f"message-composition register m{index} empty"
+        priority = self._send_priority(op)
+        if not self.node.can_send(priority):
+            return False, "network output busy or out of send credits"
+        return True, ""
+
+    @staticmethod
+    def _send_length(op: Operation) -> Optional[int]:
+        if len(op.srcs) < 3:
+            return None
+        length = op.srcs[2]
+        if isinstance(length, bool) or not isinstance(length, int):
+            return None
+        return length
+
+    @staticmethod
+    def _send_priority(op: Operation) -> int:
+        if len(op.srcs) >= 4 and isinstance(op.srcs[3], int):
+            return int(op.srcs[3])
+        return 1 if op.opcode.name == "sendp" else 0
+
+    # ---------------------------------------------------------------- execution
+
+    def _read_operand(self, context: HThreadContext, operand, cycle: int):
+        if isinstance(operand, LabelRef):
+            return operand
+        if not isinstance(operand, RegisterRef):
+            return operand
+        if operand.is_queue:
+            queue = self._queue_for(context, operand.name)
+            if queue is None:
+                raise ProtectionError(
+                    f"register {operand.name!r} is not readable from cluster {self.id} "
+                    f"slot {context.slot}"
+                )
+            return queue.pop_word()
+        if operand.is_identity:
+            return {
+                "nid": self.node.node_id,
+                "cid": self.id,
+                "vid": context.slot,
+                "zero": 0,
+            }[operand.name]
+        return context.registers.read(operand)
+
+    def _execute_instruction(self, context: HThreadContext, instruction: Instruction, cycle: int) -> None:
+        try:
+            resolved: Dict[int, List[object]] = {}
+            for op in instruction.operations:
+                self._check_privilege(context, op)
+                resolved[id(op)] = [self._read_operand(context, src, cycle) for src in op.srcs]
+
+            next_pc = context.pc + 1
+            for op in instruction.operations:
+                values = resolved[id(op)]
+                outcome_pc = self._execute_operation(context, op, values, cycle)
+                if outcome_pc is not None:
+                    next_pc = outcome_pc
+            if context.state is ThreadState.RUNNABLE:
+                context.pc = next_pc
+        except ProtectionError as exc:
+            self._raise_exception(context, EventType.PROTECTION, str(exc), cycle)
+        except ArithmeticFault as exc:
+            self._raise_exception(context, EventType.ARITHMETIC, str(exc), cycle)
+        except OperandError as exc:
+            raise SimulationError(f"{exc} (instruction {instruction})") from exc
+
+    def _check_privilege(self, context: HThreadContext, op: Operation) -> None:
+        if op.opcode.privileged and context.slot not in (EVENT_SLOT, EXCEPTION_SLOT):
+            raise ProtectionError(
+                f"privileged operation {op.opcode.name!r} issued from user slot {context.slot}"
+            )
+
+    def _execute_operation(
+        self, context: HThreadContext, op: Operation, values: List[object], cycle: int
+    ) -> Optional[int]:
+        """Execute one operation; returns the next PC if the operation is a
+        taken control transfer, else None."""
+        name = op.opcode.name
+
+        if name == "nop":
+            return None
+        if name == "mark":
+            self.node.trace(cycle, "mark", marker=values[0], cluster=self.id, slot=context.slot,
+                            pc=context.pc)
+            return None
+        if name == "empty":
+            for dest in op.dests:
+                if dest.is_remote:
+                    raise SimulationError("empty cannot target a remote register")
+                context.registers.set_empty(dest)
+            return None
+        if name == "halt":
+            context.halt(cycle)
+            self.node.trace(cycle, "halt", cluster=self.id, slot=context.slot)
+            return context.pc
+        if op.opcode.is_branch:
+            return self._execute_branch(context, op, values)
+        if op.opcode.is_send:
+            self._execute_send(context, op, values, cycle)
+            return None
+        if op.opcode.is_memory:
+            self._execute_memory(context, op, values, cycle)
+            return None
+        if op.opcode.name in _SYSTEM_EXECUTORS:
+            _SYSTEM_EXECUTORS[op.opcode.name](self, context, op, values, cycle)
+            return None
+
+        # Plain value-producing operation on a function unit.
+        value = evaluate_operation(op, values)
+        self._schedule_result(context, op, value, cycle)
+        return None
+
+    # -- control -----------------------------------------------------------------
+
+    def _execute_branch(self, context: HThreadContext, op: Operation, values: List[object]) -> Optional[int]:
+        name = op.opcode.name
+        if name == "jmp":
+            target = values[0]
+            if isinstance(target, LabelRef):
+                return op.target
+            return int(target)
+        condition = values[0]
+        if isinstance(condition, LabelRef):
+            raise SimulationError(f"branch condition of {op} is a label")
+        taken = bool(condition) if name == "br" else not bool(condition)
+        if taken:
+            if op.target is None:
+                raise SimulationError(f"branch {op} has no resolved target")
+            return op.target
+        return None
+
+    # -- memory ------------------------------------------------------------------
+
+    def _execute_memory(self, context: HThreadContext, op: Operation, values: List[object], cycle: int) -> None:
+        name = op.opcode.name
+        physical = name in ("pld", "pst")
+        is_store = op.opcode.is_store
+        if is_store:
+            store_value = values[0]
+            address_operand = values[1]
+            offset = values[2] if len(values) > 2 else 0
+        else:
+            store_value = None
+            address_operand = values[0]
+            offset = values[1] if len(values) > 1 else 0
+
+        address = self._effective_address(context, address_operand, offset, is_store, physical)
+        pre, post = SYNC_CONDITIONS.get(name, ("x", "x"))
+
+        dest = op.dest if not is_store else None
+        request = MemRequest(
+            kind=MemOpKind.STORE if is_store else MemOpKind.LOAD,
+            address=address,
+            data=store_value,
+            dest=dest.local() if dest is not None else None,
+            vthread=context.slot,
+            cluster=self.id,
+            sync_pre=pre,
+            sync_post=post,
+            physical=physical,
+            is_fp=dest.file is RegFile.FP if dest is not None else False,
+            issue_cycle=cycle,
+        )
+        if dest is not None:
+            if dest.is_remote:
+                raise SimulationError("loads cannot target a remote register")
+            context.registers.set_empty(dest)
+            context.registers.mark_pending(dest)
+        self.node.submit_memory_request(request, cycle)
+        self.node.trace(cycle, "mem_issue", req=request.req_id, address=address,
+                        store=is_store, cluster=self.id, slot=context.slot,
+                        physical=physical)
+
+    def _effective_address(
+        self,
+        context: HThreadContext,
+        address_operand,
+        offset,
+        is_store: bool,
+        physical: bool,
+    ) -> int:
+        offset = int(offset) if not isinstance(offset, LabelRef) else 0
+        if isinstance(address_operand, GuardedPointer):
+            target = address_operand.address + offset
+            required = PointerPermission.WRITE if is_store else PointerPermission.READ
+            address_operand.check(required, target)
+            return target
+        if (
+            self.node.protection_enabled
+            and not physical
+            and context.slot not in (EVENT_SLOT, EXCEPTION_SLOT)
+        ):
+            raise ProtectionError(
+                "memory access through a non-pointer address with protection enabled"
+            )
+        return int(address_operand) + offset
+
+    # -- messages ----------------------------------------------------------------
+
+    def _execute_send(self, context: HThreadContext, op: Operation, values: List[object], cycle: int) -> None:
+        name = op.opcode.name
+        length = self._send_length(op)
+        priority = self._send_priority(op)
+        body = [
+            context.registers.read(RegisterRef(RegFile.MC, index)) for index in range(length)
+        ]
+        dip = values[1]
+        if name == "sendp":
+            self.node.send_message(
+                cycle=cycle,
+                cluster=self.id,
+                vthread=context.slot,
+                dest_address=None,
+                dip=int(dip),
+                body=body,
+                priority=priority,
+                physical_node=int(values[0]),
+            )
+        else:
+            self.node.send_message(
+                cycle=cycle,
+                cluster=self.id,
+                vthread=context.slot,
+                dest_address=values[0],
+                dip=int(dip),
+                body=body,
+                priority=priority,
+                physical_node=None,
+            )
+
+    # -- results -----------------------------------------------------------------
+
+    def _schedule_result(self, context: HThreadContext, op: Operation, value, cycle: int) -> None:
+        latency = max(op.opcode.latency, 1)
+        for dest in op.dests:
+            if dest.file is RegFile.GCC:
+                self._check_gcc_pair(dest)
+                self.node.cswitch_broadcast(
+                    RegWrite(vthread=context.slot, ref=dest.local(), value=value,
+                             origin=f"gcc-broadcast c{self.id}"),
+                    cycle + latency - 1,
+                )
+            elif dest.is_remote:
+                self.node.cswitch_register_write(
+                    dest.cluster,
+                    RegWrite(vthread=context.slot, ref=dest.local(), value=value,
+                             origin=f"c{self.id}->c{dest.cluster}"),
+                    cycle + latency - 1,
+                )
+            else:
+                context.registers.set_empty(dest)
+                context.registers.mark_pending(dest)
+                self._writebacks.append(
+                    _Writeback(due_cycle=cycle + latency, slot=context.slot, ref=dest, value=value)
+                )
+
+    def _check_gcc_pair(self, dest: RegisterRef) -> None:
+        if not self.config.enforce_gcc_pairs:
+            return
+        allowed = (2 * self.id, 2 * self.id + 1)
+        if dest.index not in allowed:
+            raise ProtectionError(
+                f"cluster {self.id} may only broadcast to gcc{allowed[0]}/gcc{allowed[1]}, "
+                f"not gcc{dest.index}"
+            )
+
+    # -- exceptions ----------------------------------------------------------------
+
+    def _raise_exception(self, context: HThreadContext, event_type: EventType, detail: str, cycle: int) -> None:
+        self.exceptions_raised += 1
+        context.fault()
+        record = EventRecord(
+            event_type=event_type,
+            address=0,
+            data=0,
+            vthread=context.slot,
+            cluster=self.id,
+            cycle=cycle,
+            extra={"detail": detail, "pc": context.pc},
+        )
+        self.node.post_exception(self.id, record, cycle)
+        self.node.trace(cycle, "exception", type=event_type.name, cluster=self.id,
+                        slot=context.slot, detail=detail)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "instructions_issued": self.instructions_issued,
+            "operations_issued": self.operations_issued,
+            "operations_by_unit": dict(self.operations_by_unit),
+            "idle_cycles": self.idle_cycles,
+            "no_ready_cycles": self.no_ready_cycles,
+            "issue_by_slot": dict(self.issue_by_slot),
+            "exceptions": self.exceptions_raised,
+            "icache_fetches": self.icache.fetches,
+        }
+
+
+def _exec_xregwr(cluster: Cluster, context, op, values, cycle) -> None:
+    spec, value = values[0], values[1]
+    cluster.node.xregwr(int(spec), value, cycle)
+
+
+def _exec_ltlbw(cluster: Cluster, context, op, values, cycle) -> None:
+    va, frame, flags = (int(v) for v in values[:3])
+    cluster.node.memory.install_translation(va, frame, flags)
+
+
+def _exec_ltlbp(cluster: Cluster, context, op, values, cycle) -> None:
+    frame = cluster.node.memory.probe_translation(int(values[0]))
+    cluster._schedule_result(context, op, frame, cycle)
+
+
+def _exec_gprobe(cluster: Cluster, context, op, values, cycle) -> None:
+    node_id = cluster.node.gtlb_node_of(int(values[0]))
+    cluster._schedule_result(context, op, node_id, cycle)
+
+
+def _exec_bsset(cluster: Cluster, context, op, values, cycle) -> None:
+    cluster.node.memory.set_block_status(int(values[0]), BlockStatus(int(values[1])))
+
+
+def _exec_bsget(cluster: Cluster, context, op, values, cycle) -> None:
+    status = cluster.node.memory.get_block_status(int(values[0]))
+    cluster._schedule_result(context, op, status, cycle)
+
+
+def _exec_syncset(cluster: Cluster, context, op, values, cycle) -> None:
+    cluster.node.memory.set_sync_bit_virtual(int(values[0]), int(values[1]))
+
+
+_SYSTEM_EXECUTORS = {
+    "xregwr": _exec_xregwr,
+    "ltlbw": _exec_ltlbw,
+    "ltlbp": _exec_ltlbp,
+    "gprobe": _exec_gprobe,
+    "bsset": _exec_bsset,
+    "bsget": _exec_bsget,
+    "syncset": _exec_syncset,
+}

@@ -1,0 +1,106 @@
+"""H-Thread contexts.
+
+An H-Thread is the instruction stream of one V-Thread slot on one cluster.
+Its architectural state (program counter, register file with scoreboard) is
+resident in the cluster; a stalled H-Thread "consumes no resources other
+than the thread slot that holds its state" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.regfile import RegisterSet
+from repro.core.config import ClusterConfig
+from repro.isa.program import Program
+
+
+class ThreadState(enum.Enum):
+    #: No program loaded in this slot.
+    IDLE = "idle"
+    #: Loaded and eligible for issue.
+    RUNNABLE = "runnable"
+    #: Executed ``halt`` or ran off the end of its program.
+    HALTED = "halted"
+    #: Took a synchronous exception and is stopped pending handler action.
+    FAULTED = "faulted"
+
+
+@dataclass
+class HThreadContext:
+    """State of one H-Thread (one V-Thread slot on one cluster)."""
+
+    slot: int
+    cluster_id: int
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    registers: RegisterSet = None
+    program: Optional[Program] = None
+    pc: int = 0
+    state: ThreadState = ThreadState.IDLE
+    # Statistics
+    instructions_issued: int = 0
+    operations_issued: int = 0
+    stall_cycles: int = 0
+    stall_reasons: Counter = field(default_factory=Counter)
+    issue_cycles: int = 0
+    start_cycle: Optional[int] = None
+    halt_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.registers is None:
+            self.registers = RegisterSet(self.config)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def load(self, program: Program, initial_registers: Optional[dict] = None,
+             entry: Optional[str] = None) -> None:
+        self.program = program
+        self.pc = program.label_address(entry) if entry else 0
+        self.state = ThreadState.RUNNABLE
+        self.instructions_issued = 0
+        self.operations_issued = 0
+        self.stall_cycles = 0
+        self.stall_reasons.clear()
+        self.start_cycle = None
+        self.halt_cycle = None
+        if initial_registers:
+            self.registers.set_initial(initial_registers)
+
+    def halt(self, cycle: Optional[int] = None) -> None:
+        self.state = ThreadState.HALTED
+        self.halt_cycle = cycle
+
+    def fault(self) -> None:
+        self.state = ThreadState.FAULTED
+
+    def resume(self) -> None:
+        """Used by an exception handler to restart a faulted thread."""
+        if self.state is ThreadState.FAULTED:
+            self.state = ThreadState.RUNNABLE
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def is_runnable(self) -> bool:
+        return self.state is ThreadState.RUNNABLE
+
+    @property
+    def is_resident(self) -> bool:
+        return self.state is not ThreadState.IDLE
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (ThreadState.HALTED, ThreadState.IDLE)
+
+    def record_stall(self, reason: str) -> None:
+        self.stall_cycles += 1
+        self.stall_reasons[reason] += 1
+
+    def __str__(self) -> str:
+        return (
+            f"HThread(slot={self.slot}, cluster={self.cluster_id}, state={self.state.value}, "
+            f"pc={self.pc}, issued={self.instructions_issued})"
+        )

@@ -1,0 +1,78 @@
+"""Per-cluster instruction cache.
+
+Each cluster has a 1 KW (8 KB) instruction cache (Section 2, Figure 3).  The
+paper's evaluation never exercises instruction-cache misses (the kernels and
+handlers are tiny), so the model is an always-hit store of the programs
+loaded into each V-Thread slot with capacity accounting: the loader checks
+that the resident programs fit, and fetch statistics are kept so utilisation
+can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import ClusterConfig
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+
+
+class CapacityError(Exception):
+    """Raised when the programs loaded on a cluster exceed the I-cache size."""
+
+
+class InstructionCache:
+    """Always-hit instruction cache holding one program per V-Thread slot."""
+
+    def __init__(self, config: ClusterConfig = None, name: str = "icache"):
+        self.config = config or ClusterConfig()
+        self.name = name
+        self._programs: Dict[int, Program] = {}
+        # Statistics
+        self.fetches = 0
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, slot: int, program: Program) -> None:
+        self._programs[slot] = program
+        if self.words_used > self.config.icache_words:
+            raise CapacityError(
+                f"{self.name}: resident programs need {self.words_used} words, "
+                f"capacity is {self.config.icache_words}"
+            )
+
+    def unload(self, slot: int) -> None:
+        self._programs.pop(slot, None)
+
+    def program(self, slot: int) -> Optional[Program]:
+        return self._programs.get(slot)
+
+    # -- fetch -------------------------------------------------------------------
+
+    def fetch(self, slot: int, pc: int) -> Optional[Instruction]:
+        """Fetch the instruction at *pc* for V-Thread *slot*.
+
+        Returns None when the slot has no program or the PC has run off the
+        end of the program (which the cluster treats as an implicit halt).
+        """
+        program = self._programs.get(slot)
+        if program is None or pc < 0 or pc >= len(program):
+            return None
+        self.fetches += 1
+        return program[pc]
+
+    # -- capacity ----------------------------------------------------------------
+
+    @property
+    def words_used(self) -> int:
+        return sum(
+            len(program) * self.config.words_per_instruction
+            for program in self._programs.values()
+        )
+
+    @property
+    def utilisation(self) -> float:
+        return self.words_used / self.config.icache_words if self.config.icache_words else 0.0
+
+    def __repr__(self) -> str:
+        return f"InstructionCache({self.name!r}, {len(self._programs)} programs, {self.words_used} words)"

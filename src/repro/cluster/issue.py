@@ -1,0 +1,109 @@
+"""Thread-selection policies of the synchronization stage.
+
+"A synchronization pipeline stage holds the next instruction to be issued
+from each of the six V-Threads until all of its operands are present and all
+of the required resources are available.  At every cycle this stage decides
+which instruction to issue from those which are ready to run." (Section 3.2.)
+
+The paper does not fix the selection policy, so the simulator offers three:
+
+``event-priority`` (default)
+    The exception slot, then the event slot, then the user slots in
+    round-robin order.  Giving the resident handler threads priority keeps
+    event- and message-handling latency low and deterministic, which is what
+    the fast-trap argument of Section 4.2 relies on.
+
+``round-robin``
+    Pure round-robin over all ready slots.
+
+``hep``
+    Barrel scheduling in the style of HEP/MASA (Section 3.4's comparison):
+    slots take strict turns among *resident* threads, so with a single
+    resident thread an instruction can issue at most every
+    ``len(resident)``-th cycle only if it is that slot's turn -- used by the
+    ablation that shows why zero-cost interleaving preserves single-thread
+    performance while barrel scheduling does not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from repro.core.config import ClusterConfig, EVENT_SLOT, EXCEPTION_SLOT
+
+
+class IssuePolicy:
+    """Base class: decides the order in which ready slots are considered."""
+
+    name = "base"
+
+    def __init__(self, num_slots: int):
+        self.num_slots = num_slots
+        self._rr_pointer = 0
+
+    def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
+        """Return slot indices in the order they should be offered the issue
+        slot this cycle."""
+        raise NotImplementedError
+
+    def issued(self, slot: int) -> None:
+        """Feedback that *slot* issued this cycle (used to advance pointers)."""
+        self._rr_pointer = (slot + 1) % self.num_slots
+
+
+class EventPriorityPolicy(IssuePolicy):
+    """Exception slot, then event slot, then user slots round-robin."""
+
+    name = "event-priority"
+
+    def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
+        order = []
+        if EXCEPTION_SLOT in resident_slots:
+            order.append(EXCEPTION_SLOT)
+        if EVENT_SLOT in resident_slots:
+            order.append(EVENT_SLOT)
+        user = [slot for slot in resident_slots if slot not in (EVENT_SLOT, EXCEPTION_SLOT)]
+        if user:
+            rotated = sorted(user, key=lambda slot: (slot - self._rr_pointer) % self.num_slots)
+            order.extend(rotated)
+        return order
+
+
+class RoundRobinPolicy(IssuePolicy):
+    """Pure round-robin over every resident slot."""
+
+    name = "round-robin"
+
+    def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
+        return sorted(resident_slots, key=lambda slot: (slot - self._rr_pointer) % self.num_slots)
+
+
+class HepBarrelPolicy(IssuePolicy):
+    """Strict barrel scheduling: the issue slot rotates over *all* thread
+    contexts every cycle regardless of readiness or residency, modelling
+    HEP/MASA-style round-robin issue (Section 3.4).  A single resident thread
+    therefore issues at most once every ``num_slots`` cycles, which is exactly
+    the single-thread degradation the paper contrasts with the MAP's
+    zero-cost interleaving."""
+
+    name = "hep"
+
+    def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
+        turn = cycle % self.num_slots
+        return [turn] if turn in resident_slots else []
+
+    def issued(self, slot: int) -> None:  # the barrel rotates with the clock
+        pass
+
+
+def make_issue_policy(config: ClusterConfig, num_slots: int) -> IssuePolicy:
+    policies = {
+        "event-priority": EventPriorityPolicy,
+        "round-robin": RoundRobinPolicy,
+        "hep": HepBarrelPolicy,
+    }
+    try:
+        policy_class = policies[config.issue_policy]
+    except KeyError:
+        raise ValueError(f"unknown issue policy {config.issue_policy!r}") from None
+    return policy_class(num_slots)

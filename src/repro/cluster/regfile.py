@@ -1,0 +1,134 @@
+"""Register files with scoreboard bits.
+
+Each H-Thread context holds its own integer, floating-point, local
+condition-code, message-composition and (per-cluster copy of the) global
+condition-code registers.  Every register carries a *scoreboard* bit:
+
+"A scoreboard bit associated with the destination register is cleared
+(empty) when a multicycle operation, such as a load, issues and set (full)
+when the result is available.  An operation that uses the result will not be
+selected for issue until the corresponding scoreboard bit is set."
+(Section 3.1.)
+
+Inter-cluster transfers additionally use the explicit ``empty`` operation to
+clear destination registers before the producing H-Thread writes them over
+the C-Switch.
+
+Besides the full/empty scoreboard, the model tracks a *pending-write* count
+per register: the number of in-flight operations of the owning H-Thread that
+will write the register.  The issue stage uses it to preserve
+write-after-write ordering for a thread's own out-of-order completions; it is
+not visible to software.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.config import ClusterConfig
+from repro.isa.registers import RegFile, RegisterRef
+
+
+class RegisterSet:
+    """The registers of one H-Thread context (one V-Thread slot on one cluster)."""
+
+    def __init__(self, config: ClusterConfig = None):
+        config = config or ClusterConfig()
+        self._sizes = {
+            RegFile.INT: config.num_int_regs,
+            RegFile.FP: config.num_fp_regs,
+            RegFile.CC: config.num_cc_regs,
+            RegFile.GCC: config.num_gcc_regs,
+            RegFile.MC: config.num_mc_regs,
+        }
+        self._values: Dict[RegFile, List[object]] = {
+            file: [0] * size for file, size in self._sizes.items()
+        }
+        for index in range(self._sizes[RegFile.FP]):
+            self._values[RegFile.FP][index] = 0.0
+        self._full: Dict[RegFile, List[bool]] = {
+            file: [True] * size for file, size in self._sizes.items()
+        }
+        self._pending: Dict[RegFile, List[int]] = {
+            file: [0] * size for file, size in self._sizes.items()
+        }
+        # Statistics
+        self.reads = 0
+        self.writes = 0
+
+    # -- checks ------------------------------------------------------------------
+
+    def _check(self, ref: RegisterRef) -> Tuple[RegFile, int]:
+        if ref.is_special:
+            raise ValueError(f"special register {ref} is not stored in the register file")
+        if ref.index >= self._sizes[ref.file]:
+            raise IndexError(f"register {ref} out of range")
+        return ref.file, ref.index
+
+    # -- values ------------------------------------------------------------------
+
+    def read(self, ref: RegisterRef):
+        file, index = self._check(ref)
+        self.reads += 1
+        return self._values[file][index]
+
+    def write(self, ref: RegisterRef, value, *, set_full: bool = True) -> None:
+        file, index = self._check(ref)
+        self.writes += 1
+        self._values[file][index] = value
+        if set_full:
+            self._full[file][index] = True
+
+    def peek(self, ref: RegisterRef):
+        """Read without statistics (debug/test helper)."""
+        file, index = self._check(ref)
+        return self._values[file][index]
+
+    # -- scoreboard --------------------------------------------------------------
+
+    def is_full(self, ref: RegisterRef) -> bool:
+        file, index = self._check(ref)
+        return self._full[file][index]
+
+    def set_full(self, ref: RegisterRef) -> None:
+        file, index = self._check(ref)
+        self._full[file][index] = True
+
+    def set_empty(self, ref: RegisterRef) -> None:
+        file, index = self._check(ref)
+        self._full[file][index] = False
+
+    # -- pending writes ----------------------------------------------------------
+
+    def mark_pending(self, ref: RegisterRef) -> None:
+        file, index = self._check(ref)
+        self._pending[file][index] += 1
+
+    def clear_pending(self, ref: RegisterRef) -> None:
+        file, index = self._check(ref)
+        if self._pending[file][index] > 0:
+            self._pending[file][index] -= 1
+
+    def is_pending(self, ref: RegisterRef) -> bool:
+        file, index = self._check(ref)
+        return self._pending[file][index] > 0
+
+    # -- bulk helpers ------------------------------------------------------------
+
+    def set_initial(self, assignments: Dict[str, object]) -> None:
+        """Initialise registers from a ``{"i0": 5, "f1": 2.5}`` mapping
+        (loader/test helper); marks them full."""
+        from repro.isa.registers import parse_register
+
+        for name, value in assignments.items():
+            ref = parse_register(name)
+            self.write(ref, value)
+            self.set_full(ref)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Dump all register values (debug helper)."""
+        result = {}
+        for file, values in self._values.items():
+            for index, value in enumerate(values):
+                result[f"{file.value}{index}"] = value
+        return result

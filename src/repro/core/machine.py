@@ -1,0 +1,279 @@
+"""The top-level M-Machine model.
+
+:class:`MMachine` builds the mesh of nodes described by a
+:class:`~repro.core.config.MachineConfig`, provides the address-space and
+thread-loading API used by examples, tests and benchmarks, installs the
+software runtime (Section 4.2/4.3 handlers) and drives the global clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MachineConfig
+from repro.core.stats import MachineStats
+from repro.core.trace import Tracer
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.isa.registers import parse_register
+from repro.network.gtlb import GlobalDestinationTable, GtlbEntry
+from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
+from repro.node.node import Node
+
+ProgramLike = Union[Program, str]
+
+
+def _as_program(program: ProgramLike, name: str = "program") -> Program:
+    if isinstance(program, Program):
+        return program
+    return assemble(program, name=name)
+
+
+class MMachine:
+    """A complete M-Machine: nodes, mesh network, runtime and clock."""
+
+    def __init__(self, config: Optional[MachineConfig] = None, install_runtime: bool = True):
+        self.config = config or MachineConfig()
+        self.config.validate()
+        self.tracer = Tracer(self.config.trace_enabled)
+        self.gdt = GlobalDestinationTable()
+        self.mesh = MeshNetwork(self.config.network)
+        shape = self.config.network.mesh_shape
+        self.nodes: List[Node] = [
+            Node(
+                node_id=node_id,
+                coords=id_to_coords(node_id, shape),
+                config=self.config,
+                mesh=self.mesh,
+                gdt=self.gdt,
+                tracer=self.tracer,
+            )
+            for node_id in range(self.config.num_nodes)
+        ]
+        self.cycle = 0
+        self.runtime = None
+        if install_runtime and self.config.runtime.shared_memory_mode != "none":
+            from repro.runtime import install_runtime as _install
+
+            self.runtime = _install(self)
+
+    # ------------------------------------------------------------------ topology
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def node_at(self, coords: Tuple[int, int, int]) -> Node:
+        return self.nodes[coords_to_id(coords, self.config.network.mesh_shape)]
+
+    # -------------------------------------------------------------- address space
+
+    @property
+    def page_size(self) -> int:
+        return self.config.memory.page_size_words
+
+    def map_region(
+        self,
+        base_address: int,
+        num_pages: int,
+        start_node: Tuple[int, int, int] = (0, 0, 0),
+        extent: Tuple[int, int, int] = (0, 0, 0),
+        pages_per_node: int = 1,
+        writable: bool = True,
+        preload_ltlb: bool = True,
+    ) -> GtlbEntry:
+        """Map a page-group of the global virtual address space over a 3-D
+        region of nodes (creates the GDT entry and the local page-table
+        entries on every home node).
+
+        ``extent`` gives the base-2 logarithms of the region's X/Y/Z sizes,
+        exactly as in the GTLB entry format of Figure 8.
+        """
+        if base_address % self.page_size:
+            raise ValueError("region base address must be page aligned")
+        entry = GtlbEntry(
+            base_page=base_address // self.page_size,
+            page_group_length=num_pages,
+            start_node=start_node,
+            extent=extent,
+            pages_per_node=pages_per_node,
+            page_size_words=self.page_size,
+        )
+        self.gdt.add(entry)
+        shape = self.config.network.mesh_shape
+        for node in self.nodes:
+            pages = entry.pages_on_node(node.coords)
+            for page in pages:
+                node.map_page(page, writable=writable, preload_ltlb=preload_ltlb)
+        return entry
+
+    def map_on_node(
+        self,
+        node_id: int,
+        base_address: int,
+        num_pages: int = 1,
+        writable: bool = True,
+        preload_ltlb: bool = True,
+    ) -> GtlbEntry:
+        """Map a page-group entirely on one node."""
+        coords = self.nodes[node_id].coords
+        return self.map_region(
+            base_address,
+            num_pages,
+            start_node=coords,
+            extent=(0, 0, 0),
+            pages_per_node=num_pages,
+            writable=writable,
+            preload_ltlb=preload_ltlb,
+        )
+
+    def home_node_of(self, address: int) -> Node:
+        entry = self.gdt.lookup(address)
+        if entry is None:
+            raise KeyError(f"address {address:#x} is not mapped by any page-group")
+        coords = entry.node_coords_of(address)
+        return self.node_at(coords)
+
+    def write_word(self, address: int, value, sync_bit: Optional[int] = None) -> None:
+        """Write a word of the global address space directly (loader/test API)."""
+        self.home_node_of(address).write_word(address, value, sync_bit)
+
+    def read_word(self, address: int):
+        return self.home_node_of(address).read_word(address)
+
+    def write_block(self, address: int, values: Sequence[object]) -> None:
+        for offset, value in enumerate(values):
+            self.write_word(address + offset, value)
+
+    def read_block(self, address: int, count: int) -> List[object]:
+        return [self.read_word(address + offset) for offset in range(count)]
+
+    # -------------------------------------------------------------- thread loading
+
+    def load_hthread(
+        self,
+        node_id: int,
+        slot: int,
+        cluster: int,
+        program: ProgramLike,
+        registers: Optional[dict] = None,
+        entry: Optional[str] = None,
+        name: str = "user",
+    ):
+        return self.nodes[node_id].load_hthread(
+            slot, cluster, _as_program(program, name), registers, entry
+        )
+
+    def load_vthread(
+        self,
+        node_id: int,
+        slot: int,
+        programs: Dict[int, ProgramLike],
+        registers: Optional[Dict[int, dict]] = None,
+        entries: Optional[Dict[int, str]] = None,
+        name: str = "user",
+    ) -> None:
+        compiled = {
+            cluster: _as_program(program, f"{name}-c{cluster}")
+            for cluster, program in programs.items()
+        }
+        self.nodes[node_id].load_vthread(slot, compiled, registers, entries)
+
+    # ---------------------------------------------------------------- register API
+
+    def register_value(self, node_id: int, slot: int, cluster: int, register: str):
+        context = self.nodes[node_id].context(slot, cluster)
+        return context.registers.peek(parse_register(register))
+
+    def register_full(self, node_id: int, slot: int, cluster: int, register: str) -> bool:
+        context = self.nodes[node_id].context(slot, cluster)
+        return context.registers.is_full(parse_register(register))
+
+    def thread_halted(self, node_id: int, slot: int, cluster: int) -> bool:
+        from repro.cluster.hthread import ThreadState
+
+        return self.nodes[node_id].context(slot, cluster).state is ThreadState.HALTED
+
+    # ------------------------------------------------------------------- execution
+
+    def step(self) -> int:
+        """Advance the whole machine by one cycle; returns the number of
+        instructions issued across all nodes."""
+        cycle = self.cycle
+        self.mesh.tick(cycle)
+        issued = 0
+        for node in self.nodes:
+            issued += node.tick(cycle)
+        self.cycle += 1
+        return issued
+
+    def run(self, max_cycles: int, until: Optional[Callable[["MMachine"], bool]] = None) -> int:
+        """Run for at most *max_cycles* more cycles, stopping early when
+        *until* (if given) returns True.  Returns the cycle count reached."""
+        limit = self.cycle + max_cycles
+        while self.cycle < limit:
+            self.step()
+            if until is not None and until(self):
+                break
+        return self.cycle
+
+    def run_until(self, predicate: Callable[["MMachine"], bool], max_cycles: int = 100_000) -> int:
+        """Run until *predicate* holds; raises TimeoutError if it never does."""
+        limit = self.cycle + max_cycles
+        while self.cycle < limit:
+            self.step()
+            if predicate(self):
+                return self.cycle
+        raise TimeoutError(
+            f"condition not reached within {max_cycles} cycles (cycle {self.cycle})"
+        )
+
+    def run_until_quiescent(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
+        """Run until nothing has issued and nothing is in flight anywhere for
+        *settle_cycles* consecutive cycles."""
+        limit = self.cycle + max_cycles
+        quiet = 0
+        while self.cycle < limit:
+            issued = self.step()
+            busy = (
+                issued > 0
+                or self.mesh.busy
+                or any(node.has_pending_work for node in self.nodes)
+            )
+            quiet = 0 if busy else quiet + 1
+            if quiet >= settle_cycles:
+                return self.cycle
+        raise TimeoutError(f"machine did not quiesce within {max_cycles} cycles")
+
+    def run_until_user_done(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
+        """Run until every user H-Thread has halted and the machine is
+        otherwise quiescent (handlers drained, network idle)."""
+        limit = self.cycle + max_cycles
+        quiet = 0
+        while self.cycle < limit:
+            issued = self.step()
+            users_done = all(node.user_threads_finished for node in self.nodes)
+            busy = (
+                issued > 0
+                or self.mesh.busy
+                or any(node.has_pending_work for node in self.nodes)
+            )
+            if users_done and not busy:
+                quiet += 1
+            else:
+                quiet = 0
+            if quiet >= settle_cycles:
+                return self.cycle
+        raise TimeoutError(f"user threads did not finish within {max_cycles} cycles")
+
+    # ------------------------------------------------------------------ statistics
+
+    def stats(self) -> MachineStats:
+        return MachineStats(cycles=self.cycle, node_stats=[node.stats() for node in self.nodes])
+
+    def __repr__(self) -> str:
+        shape = self.config.network.mesh_shape
+        return f"MMachine({self.num_nodes} nodes, mesh {shape}, cycle {self.cycle})"

@@ -1,0 +1,92 @@
+"""Machine statistics aggregation and report formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class MachineStats:
+    """A summary of a finished (or in-progress) simulation."""
+
+    cycles: int
+    node_stats: List[dict] = field(default_factory=list)
+
+    # -- aggregates --------------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(
+            cluster["instructions_issued"]
+            for node in self.node_stats
+            for cluster in node["clusters"]
+        )
+
+    @property
+    def total_operations(self) -> int:
+        return sum(
+            cluster["operations_issued"]
+            for node in self.node_stats
+            for cluster in node["clusters"]
+        )
+
+    @property
+    def instructions_per_cycle(self) -> float:
+        return self.total_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def operations_per_cycle(self) -> float:
+        return self.total_operations / self.cycles if self.cycles else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(node["cache"]["hits"] for node in self.node_stats)
+        misses = sum(node["cache"]["misses"] for node in self.node_stats)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(node["messages_sent"] for node in self.node_stats)
+
+    @property
+    def events(self) -> int:
+        return sum(node["events"] for node in self.node_stats)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.total_instructions,
+            "operations": self.total_operations,
+            "ipc": round(self.instructions_per_cycle, 4),
+            "opc": round(self.operations_per_cycle, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "messages": self.messages_sent,
+            "events": self.events,
+            "nodes": len(self.node_stats),
+        }
+
+    def __str__(self) -> str:
+        parts = [f"{key}={value}" for key, value in self.summary().items()]
+        return "MachineStats(" + ", ".join(parts) + ")"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Format an ASCII table (used by the benchmark harness to print the
+    rows/series the paper's tables and figures report)."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def format_row(cells) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)

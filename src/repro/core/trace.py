@@ -1,0 +1,122 @@
+"""Machine-wide event tracing.
+
+The tracer is the common instrumentation channel used by the memory system,
+the clusters, the network interfaces and the runtime handlers.  The
+Figure 9 timelines, the Table 1 latency measurements and several integration
+tests are all computed from the trace, so categories and fields are treated
+as a stable (documented) interface:
+
+=================  ===========================================================
+category           emitted when
+=================  ===========================================================
+``mem_issue``      a load/store issues from a cluster
+``cache_hit``      a request hits in the on-chip cache
+``cache_miss``     a request misses and is forwarded to the memory interface
+``ltlb_miss``      translation misses; an LTLB-miss event will be enqueued
+``block_status_fault`` / ``sync_fault``  the corresponding faults
+``store_complete`` a store's data is resident in the cache/SDRAM
+``mem_response``   a load value starts back toward its cluster
+``reg_write``      a C-Switch register write is applied
+``event_enqueue``  an asynchronous event record enters its hardware queue
+``handler_*``      emitted by runtime handlers (dispatch, completion)
+``msg_inject`` / ``msg_deliver`` / ``msg_ack`` / ``msg_nack`` / ``msg_reject``
+                   network interface activity
+``send``           a SEND instruction executed
+``xregwr``         a privileged register write was performed
+``mark``           the ``mark`` debug operation
+``exception``      a synchronous exception was raised
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    cycle: int
+    node: int
+    category: str
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def __getattr__(self, name: str):
+        try:
+            return self.info[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __str__(self) -> str:
+        details = ", ".join(f"{key}={value}" for key, value in sorted(self.info.items()))
+        return f"[{self.cycle:6d}] node {self.node} {self.category}: {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for later analysis."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, cycle: int, node: int, category: str, **info) -> None:
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(cycle=cycle, node=node, category=category, info=info))
+
+    # -- queries -----------------------------------------------------------------
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        result = []
+        for event in self.events:
+            if category is not None and event.category != category:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if since is not None and event.cycle < since:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def first(self, category: str, **match) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.category != category:
+                continue
+            if all(event.info.get(key) == value for key, value in match.items()):
+                return event
+        return None
+
+    def last(self, category: str, **match) -> Optional[TraceEvent]:
+        found = None
+        for event in self.events:
+            if event.category != category:
+                continue
+            if all(event.info.get(key) == value for key, value in match.items()):
+                found = event
+        return found
+
+    def count(self, category: str) -> int:
+        return sum(1 for event in self.events if event.category == category)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def dump(self, categories: Optional[Iterable[str]] = None) -> str:
+        """Human-readable dump (debugging aid)."""
+        wanted = set(categories) if categories is not None else None
+        lines = []
+        for event in self.events:
+            if wanted is None or event.category in wanted:
+                lines.append(str(event))
+        return "\n".join(lines)

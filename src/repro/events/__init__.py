@@ -1,0 +1,14 @@
+"""Hardware events and event queues.
+
+Exceptions that occur outside the MAP cluster (LTLB misses, block-status
+faults, memory-synchronizing faults) are handled *asynchronously*: the
+hardware formats an event record identifying the faulting operation and its
+operands and places it in a hardware event queue; a dedicated H-Thread of the
+event V-Thread consumes the records through the register-mapped ``evq``
+register (Section 3.3 of the paper).
+"""
+
+from repro.events.records import EventType, EventRecord
+from repro.events.queue import HardwareQueue, EventQueue
+
+__all__ = ["EventType", "EventRecord", "HardwareQueue", "EventQueue"]

@@ -1,0 +1,54 @@
+"""MAP instruction set architecture.
+
+The M-Machine's MAP chip executes 3-wide instructions; each instruction
+contains at most one operation for each of the three function units of a
+cluster (integer unit, memory unit, floating-point unit).  This package
+defines:
+
+* :mod:`repro.isa.registers` -- register name spaces (integer, floating
+  point, condition-code, global condition-code, message-composition and
+  special queue-mapped registers) and references to registers of other
+  clusters in the same V-Thread.
+* :mod:`repro.isa.operations` -- the operation set (opcodes, operand shapes,
+  latencies, privilege and unit requirements).
+* :mod:`repro.isa.instruction` -- the 3-wide instruction container.
+* :mod:`repro.isa.program`     -- an assembled program (instructions plus
+  label map).
+* :mod:`repro.isa.assembler`   -- a small two-pass assembler for the textual
+  MAP assembly used throughout the repository.
+"""
+
+from repro.isa.registers import (
+    RegFile,
+    RegisterRef,
+    parse_register,
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_CC_REGS,
+    NUM_GCC_REGS,
+    NUM_MC_REGS,
+)
+from repro.isa.operations import Opcode, Operation, OpClass, Unit, OPCODES
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, AssemblyError
+
+__all__ = [
+    "RegFile",
+    "RegisterRef",
+    "parse_register",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_CC_REGS",
+    "NUM_GCC_REGS",
+    "NUM_MC_REGS",
+    "Opcode",
+    "Operation",
+    "OpClass",
+    "Unit",
+    "OPCODES",
+    "Instruction",
+    "Program",
+    "assemble",
+    "AssemblyError",
+]

@@ -1,0 +1,54 @@
+"""The MAP node memory system.
+
+Section 2 of the paper describes the memory system of a MAP node:
+
+* a 32 KB on-chip cache organised as four word-interleaved 4 KW banks,
+  virtually addressed and tagged, with a three-cycle read latency including
+  switch traversal (:mod:`repro.memory.cache`);
+* an external memory interface with an SDRAM controller that exploits page
+  mode and performs SECDED error control (:mod:`repro.memory.sdram`,
+  :mod:`repro.memory.secded`);
+* a local translation lookaside buffer (LTLB) caching local page table (LPT)
+  entries; pages are 512 words = 64 eight-word blocks
+  (:mod:`repro.memory.ltlb`, :mod:`repro.memory.page_table`);
+* a synchronization bit associated with each word of memory, used by the
+  synchronising load/store operations;
+* two block-status bits per eight-word block used by the software DRAM
+  caching / coherence layer (Section 4.3);
+* protection by guarded pointers -- a light-weight capability system
+  (:mod:`repro.memory.guarded_pointer`).
+
+:mod:`repro.memory.memory_system` composes these pieces into the per-node
+:class:`~repro.memory.memory_system.MemorySystem` that clusters talk to over
+the M-Switch.
+"""
+
+from repro.memory.secded import secded_encode, secded_decode, SecdedError
+from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
+from repro.memory.sdram import Sdram
+from repro.memory.page_table import BlockStatus, LptEntry, LocalPageTable, PAGE_SIZE_WORDS, BLOCK_SIZE_WORDS
+from repro.memory.ltlb import Ltlb
+from repro.memory.cache import InterleavedCache
+from repro.memory.requests import MemRequest, MemResponse, MemOpKind
+from repro.memory.memory_system import MemorySystem
+
+__all__ = [
+    "secded_encode",
+    "secded_decode",
+    "SecdedError",
+    "GuardedPointer",
+    "PointerPermission",
+    "ProtectionError",
+    "Sdram",
+    "BlockStatus",
+    "LptEntry",
+    "LocalPageTable",
+    "PAGE_SIZE_WORDS",
+    "BLOCK_SIZE_WORDS",
+    "Ltlb",
+    "InterleavedCache",
+    "MemRequest",
+    "MemResponse",
+    "MemOpKind",
+    "MemorySystem",
+]

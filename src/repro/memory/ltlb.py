@@ -1,0 +1,97 @@
+"""The local translation lookaside buffer (LTLB).
+
+"The external memory interface consists of the SDRAM controller and a local
+translation lookaside buffer (LTLB) used to cache local page table (LPT)
+entries." (Section 2.)  The LTLB is only consulted on cache misses because
+the on-chip cache is virtually addressed and tagged; an LTLB miss raises an
+asynchronous event handled in software by the event V-Thread (Section 3.3),
+which is exactly how remote memory references are detected (Section 4.2).
+
+The LTLB caches :class:`~repro.memory.page_table.LptEntry` objects; it holds
+references, so block-status updates made through the page table are
+immediately visible to hardware checks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.memory.page_table import LptEntry, PAGE_SIZE_WORDS, page_of
+
+
+class Ltlb:
+    """A fully associative, LRU-replaced translation cache."""
+
+    def __init__(self, num_entries: int = 64, page_size: int = PAGE_SIZE_WORDS, name: str = "ltlb"):
+        if num_entries <= 0:
+            raise ValueError("LTLB must have at least one entry")
+        self.num_entries = num_entries
+        self.page_size = page_size
+        self.name = name
+        self._entries: "OrderedDict[int, LptEntry]" = OrderedDict()
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, address: int) -> Optional[LptEntry]:
+        """Translate a virtual address; None on a miss (which the memory
+        system turns into an LTLB-miss event)."""
+        page = page_of(address, self.page_size)
+        entry = self._entries.get(page)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(page)
+        return entry
+
+    def probe(self, address: int) -> Optional[LptEntry]:
+        """Like :meth:`lookup` but without touching statistics or LRU state
+        (used by debug/loader paths)."""
+        return self._entries.get(page_of(address, self.page_size))
+
+    # -- maintenance -------------------------------------------------------------
+
+    def insert(self, entry: LptEntry) -> Optional[LptEntry]:
+        """Insert an entry, returning the evicted entry if any."""
+        evicted = None
+        if entry.virtual_page in self._entries:
+            self._entries.move_to_end(entry.virtual_page)
+            self._entries[entry.virtual_page] = entry
+            return None
+        if len(self._entries) >= self.num_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[entry.virtual_page] = entry
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, virtual_page: int) -> bool:
+        if virtual_page in self._entries:
+            del self._entries[virtual_page]
+            return True
+        return False
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, virtual_page: int) -> bool:
+        return virtual_page in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"Ltlb({self.name!r}, {len(self)}/{self.num_entries} entries)"

@@ -1,0 +1,554 @@
+"""The per-node memory system.
+
+This module composes the on-chip cache banks, the LTLB, the local page table
+and the SDRAM controller into the unit that the four clusters talk to over
+the M-Switch, and that raises asynchronous events (LTLB misses, block-status
+faults and memory-synchronizing faults) toward the event V-Thread
+(Sections 2, 3.3, 4.2 and 4.3 of the paper).
+
+Timing model
+------------
+
+All latencies are expressed in MAP cycles and configured by
+:class:`repro.core.config.MemoryConfig`:
+
+* a request arrives from the M-Switch one cycle after issue;
+* each cache bank accepts one access per cycle (bank conflicts delay younger
+  requests); a hit produces its response after ``bank_latency`` cycles --
+  with the M-Switch and C-Switch traversals this yields the paper's
+  three-cycle load-hit latency;
+* a miss is forwarded to the external memory interface (one outstanding miss
+  at a time), which spends ``ltlb_latency`` cycles translating, then accesses
+  the SDRAM with its page-mode timing; loads return the critical word first,
+  stores complete only when the whole block has been loaded and merged
+  (which is why the paper's write-miss latency exceeds its read-miss
+  latency);
+* an LTLB miss or a block-status / synchronization fault aborts the request
+  and enqueues an event record ``event_enqueue_latency`` cycles later.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.events.records import EventRecord, EventType
+from repro.isa.registers import pack_regspec
+from repro.memory.cache import InterleavedCache
+from repro.memory.ltlb import Ltlb
+from repro.memory.page_table import (
+    BLOCK_SIZE_WORDS,
+    BlockStatus,
+    LocalPageTable,
+    LptEntry,
+    block_base,
+    page_of,
+)
+from repro.memory.requests import MemOpKind, MemRequest, MemResponse
+from repro.memory.sdram import Sdram
+
+
+#: Flags accepted by the privileged ``ltlbw`` operation.
+LTLB_FLAG_WRITABLE = 0x1
+#: When set, all blocks of the new mapping start READ_WRITE; when clear they
+#: start INVALID (used by the software DRAM-caching layer of Section 4.3).
+LTLB_FLAG_BLOCKS_VALID = 0x2
+
+
+@dataclass
+class _PendingResponse:
+    ready_cycle: int
+    response: MemResponse
+
+
+class MemorySystem:
+    """Cache banks + LTLB + local page table + SDRAM of one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        cache: InterleavedCache,
+        ltlb: Ltlb,
+        page_table: LocalPageTable,
+        sdram: Sdram,
+        *,
+        bank_latency: int = 1,
+        mif_latency: int = 1,
+        ltlb_latency: int = 1,
+        fill_latency: int = 1,
+        event_enqueue_latency: int = 2,
+        event_sink: Optional[Callable[[EventRecord, int], None]] = None,
+        tracer=None,
+    ):
+        self.node_id = node_id
+        self.cache = cache
+        self.ltlb = ltlb
+        self.page_table = page_table
+        self.sdram = sdram
+        self.bank_latency = bank_latency
+        self.mif_latency = mif_latency
+        self.ltlb_latency = ltlb_latency
+        self.fill_latency = fill_latency
+        self.event_enqueue_latency = event_enqueue_latency
+        self.event_sink = event_sink or (lambda record, cycle: None)
+        self.tracer = tracer
+
+        self._bank_queues: List[Deque[Tuple[int, MemRequest]]] = [
+            deque() for _ in range(cache.num_banks)
+        ]
+        self._mif_queue: Deque[Tuple[int, MemRequest]] = deque()
+        self._mif_busy_until = -1
+        self._pending: List[_PendingResponse] = []
+
+        # Statistics
+        self.requests_accepted = 0
+        self.loads = 0
+        self.stores = 0
+        self.sync_faults = 0
+        self.block_status_faults = 0
+        self.ltlb_miss_events = 0
+        self.store_completions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ wiring
+
+    def _trace(self, cycle: int, category: str, **info) -> None:
+        if self.tracer is not None:
+            self.tracer.record(cycle, self.node_id, category, **info)
+
+    # ------------------------------------------------------------- request path
+
+    def submit(self, request: MemRequest, arrival_cycle: int) -> None:
+        """Accept a request delivered by the M-Switch at *arrival_cycle*."""
+        self.requests_accepted += 1
+        if request.is_store:
+            self.stores += 1
+        else:
+            self.loads += 1
+        if request.physical:
+            # Physical accesses bypass the cache and go straight to the
+            # external memory interface.
+            self._mif_queue.append((arrival_cycle, request))
+        else:
+            bank = self.cache.bank_of(request.address)
+            self._bank_queues[bank].append((arrival_cycle, request))
+
+    def bank_queue_depth(self, bank: int) -> int:
+        return len(self._bank_queues[bank])
+
+    # -------------------------------------------------------------------- tick
+
+    def tick(self, cycle: int) -> List[MemResponse]:
+        """Advance one cycle; returns responses whose data leaves the memory
+        system this cycle (the node forwards them to the C-Switch)."""
+        for bank_index in range(self.cache.num_banks):
+            self._service_bank(bank_index, cycle)
+        self._service_mif(cycle)
+
+        ready: List[MemResponse] = []
+        still_pending: List[_PendingResponse] = []
+        for pending in self._pending:
+            if pending.ready_cycle <= cycle:
+                ready.append(pending.response)
+            else:
+                still_pending.append(pending)
+        self._pending = still_pending
+        return ready
+
+    # ----------------------------------------------------------- bank pipeline
+
+    def _service_bank(self, bank_index: int, cycle: int) -> None:
+        queue = self._bank_queues[bank_index]
+        if not queue:
+            return
+        arrival, request = queue[0]
+        if arrival > cycle:
+            return
+        queue.popleft()
+
+        line = self.cache.lookup(request.address, request.is_store)
+        if line is None:
+            # Miss: hand over to the external memory interface next cycle.
+            self._mif_queue.append((cycle + 1, request))
+            self._trace(cycle, "cache_miss", address=request.address, req=request.req_id,
+                        store=request.is_store)
+            return
+
+        self._trace(cycle, "cache_hit", address=request.address, req=request.req_id,
+                    store=request.is_store)
+        if request.is_store and not line.writable:
+            # The block status bits forbid writing; the check applies to hits
+            # because the line's writability was captured at fill time.
+            self.block_status_faults += 1
+            record = self._make_record(EventType.BLOCK_STATUS, request, cycle)
+            self.event_sink(record, cycle + self.event_enqueue_latency)
+            self._trace(cycle, "block_status_fault", address=request.address,
+                        req=request.req_id, status="cached-read-only",
+                        event_cycle=cycle + self.event_enqueue_latency)
+            return
+        if not self._check_sync_precondition(request, self.cache.sync_bit(line, request.address), cycle):
+            return
+
+        if request.is_store:
+            self.cache.write_word(line, request.address, request.data)
+            self._apply_sync_postcondition_line(line, request)
+            entry = self.page_table.lookup(request.address)
+            if entry is not None:
+                self._auto_dirty(entry, request.address)
+            completion = cycle + self.bank_latency
+            self.store_completions[request.req_id] = completion
+            self._trace(completion, "store_complete", address=request.address,
+                        req=request.req_id, where="cache")
+        else:
+            value = self.cache.read_word(line, request.address)
+            self._apply_sync_postcondition_line(line, request)
+            self._pending.append(
+                _PendingResponse(
+                    ready_cycle=cycle + self.bank_latency,
+                    response=MemResponse(request=request, value=value,
+                                         ready_cycle=cycle + self.bank_latency),
+                )
+            )
+
+    # ------------------------------------------------ external memory interface
+
+    def _service_mif(self, cycle: int) -> None:
+        if cycle <= self._mif_busy_until or not self._mif_queue:
+            return
+        arrival, request = self._mif_queue[0]
+        if arrival > cycle:
+            return
+        self._mif_queue.popleft()
+
+        if request.physical:
+            self._service_physical(request, cycle)
+            return
+
+        translate_done = cycle + self.mif_latency + self.ltlb_latency
+        entry = self.ltlb.lookup(request.address)
+        if entry is None:
+            # LTLB miss: abort the access and raise an asynchronous event.
+            self.ltlb_miss_events += 1
+            record = self._make_record(EventType.LTLB_MISS, request, cycle)
+            enqueue_cycle = translate_done + self.event_enqueue_latency
+            self.event_sink(record, enqueue_cycle)
+            self._trace(cycle, "ltlb_miss", address=request.address, req=request.req_id,
+                        store=request.is_store, event_cycle=enqueue_cycle)
+            self._mif_busy_until = translate_done
+            return
+
+        status = entry.status_of(request.address)
+        allowed = status.allows_write() if request.is_store else status.allows_read()
+        if not allowed or (request.is_store and not entry.writable):
+            self.block_status_faults += 1
+            record = self._make_record(EventType.BLOCK_STATUS, request, cycle)
+            record.extra["block_status"] = status
+            enqueue_cycle = translate_done + self.event_enqueue_latency
+            self.event_sink(record, enqueue_cycle)
+            self._trace(cycle, "block_status_fault", address=request.address,
+                        req=request.req_id, status=status.name, event_cycle=enqueue_cycle)
+            self._mif_busy_until = translate_done
+            return
+
+        self._service_sdram_fill(request, entry, translate_done, cycle)
+
+    def _service_physical(self, request: MemRequest, cycle: int) -> None:
+        latency = self.sdram.access_latency(request.address, 1)
+        done = cycle + self.mif_latency + latency
+        if request.is_store:
+            self.sdram.write_word(request.address, request.data)
+            self.store_completions[request.req_id] = done
+            self._trace(done, "store_complete", address=request.address,
+                        req=request.req_id, where="sdram-physical")
+        else:
+            value = self.sdram.read_word(request.address)
+            self._pending.append(
+                _PendingResponse(ready_cycle=done,
+                                 response=MemResponse(request=request, value=value,
+                                                      ready_cycle=done))
+            )
+        self._mif_busy_until = done
+
+    def _service_sdram_fill(self, request: MemRequest, entry: LptEntry,
+                            translate_done: int, cycle: int) -> None:
+        """Fetch the block containing the request from SDRAM, fill the cache
+        and complete the access."""
+        virtual_base = block_base(request.address)
+        physical_base = entry.translate(virtual_base, self.page_table.page_size)
+
+        # Secondary-miss merge: an earlier miss to the same block may have
+        # filled the line while this request waited in the memory-interface
+        # queue.  Re-filling from SDRAM would clobber any dirty words already
+        # written to the resident line, so the access is completed against
+        # the line directly (the analogue of an MSHR hit).
+        resident = self.cache.probe(request.address)
+        if resident is not None:
+            if request.is_store and not resident.writable:
+                self.block_status_faults += 1
+                record = self._make_record(EventType.BLOCK_STATUS, request, cycle)
+                self.event_sink(record, translate_done + self.event_enqueue_latency)
+                self._mif_busy_until = translate_done
+                return
+            word_index = request.address - virtual_base
+            if not self._check_sync_precondition(
+                request, self.cache.sync_bit(resident, request.address), cycle
+            ):
+                self._mif_busy_until = translate_done
+                return
+            done = translate_done + self.bank_latency
+            if request.is_store:
+                self.cache.write_word(resident, request.address, request.data)
+                self._apply_sync_postcondition_line(resident, request)
+                self._auto_dirty(entry, request.address)
+                self.store_completions[request.req_id] = done
+                self._trace(done, "store_complete", address=request.address,
+                            req=request.req_id, where="merge")
+            else:
+                value = self.cache.read_word(resident, request.address)
+                self._apply_sync_postcondition_line(resident, request)
+                self._pending.append(
+                    _PendingResponse(ready_cycle=done,
+                                     response=MemResponse(request=request, value=value,
+                                                          ready_cycle=done))
+                )
+            self._mif_busy_until = done
+            return
+
+        block_latency = self.sdram.access_latency(physical_base, BLOCK_SIZE_WORDS)
+        first_word_latency = block_latency - (BLOCK_SIZE_WORDS - 1) * self.sdram.timing.cycles_per_word
+
+        data = self.sdram.read_block(physical_base, BLOCK_SIZE_WORDS)
+        sync_bits = [self.sdram.sync_bit(physical_base + i) for i in range(BLOCK_SIZE_WORDS)]
+
+        # Check the synchronisation precondition against memory state before
+        # committing anything.
+        word_index = request.address - virtual_base
+        if not self._check_sync_precondition(request, sync_bits[word_index], cycle):
+            self._mif_busy_until = translate_done
+            return
+
+        block_status = entry.status_of(request.address)
+        writable = entry.writable and block_status.allows_write()
+        evicted = self.cache.fill(virtual_base, physical_base, data, sync_bits,
+                                  writable=writable)
+        if evicted is not None:
+            self._write_back(evicted)
+
+        line = self.cache.probe(request.address)
+        fill_done = translate_done + first_word_latency + self.fill_latency
+
+        if request.is_store:
+            # Write-allocate: the store completes once the whole block is
+            # resident and the new word merged.
+            complete = translate_done + block_latency + self.fill_latency
+            self.cache.write_word(line, request.address, request.data)
+            self._apply_sync_postcondition_line(line, request)
+            self._auto_dirty(entry, request.address)
+            self.store_completions[request.req_id] = complete
+            self._trace(complete, "store_complete", address=request.address,
+                        req=request.req_id, where="fill")
+            self._mif_busy_until = complete
+        else:
+            value = self.cache.read_word(line, request.address)
+            self._apply_sync_postcondition_line(line, request)
+            self._pending.append(
+                _PendingResponse(ready_cycle=fill_done,
+                                 response=MemResponse(request=request, value=value,
+                                                      ready_cycle=fill_done))
+            )
+            self._mif_busy_until = fill_done
+
+    def _write_back(self, evicted) -> None:
+        """Write a dirty victim line back to SDRAM and update block status."""
+        self.sdram.write_block(evicted.physical_base, evicted.data)
+        for offset, bit in enumerate(evicted.sync_bits):
+            self.sdram.set_sync_bit(evicted.physical_base + offset, bit)
+        entry = self.page_table.lookup(evicted.virtual_base)
+        if entry is not None:
+            self._auto_dirty(entry, evicted.virtual_base)
+
+    def _auto_dirty(self, entry: LptEntry, address: int) -> None:
+        """Writes automatically move a READ_WRITE block to DIRTY (Section 4.3)."""
+        if entry.status_of(address) is BlockStatus.READ_WRITE:
+            entry.set_status(address, BlockStatus.DIRTY)
+            self.page_table._mirror(entry)
+
+    # ------------------------------------------------------------- sync bits
+
+    def _check_sync_precondition(self, request: MemRequest, current_bit: int, cycle: int) -> bool:
+        pre = request.sync_pre
+        if pre == "x":
+            return True
+        required = 1 if pre == "f" else 0
+        if current_bit == required:
+            return True
+        self.sync_faults += 1
+        record = self._make_record(EventType.SYNC_FAULT, request, cycle)
+        record.extra["sync_bit"] = current_bit
+        self.event_sink(record, cycle + self.event_enqueue_latency)
+        self._trace(cycle, "sync_fault", address=request.address, req=request.req_id,
+                    pre=pre, bit=current_bit)
+        return False
+
+    def _apply_sync_postcondition_line(self, line, request: MemRequest) -> None:
+        post = request.sync_post
+        if post == "x":
+            return
+        self.cache.set_sync_bit(line, request.address, 1 if post == "f" else 0)
+
+    # ---------------------------------------------------------------- events
+
+    def _make_record(self, event_type: EventType, request: MemRequest, cycle: int) -> EventRecord:
+        regspec = 0
+        is_fp = bool(request.is_fp)
+        if request.dest is not None:
+            regspec = pack_regspec(request.vthread, request.cluster, request.dest)
+        return EventRecord(
+            event_type=event_type,
+            address=request.address,
+            data=int(request.data) if isinstance(request.data, (int, bool)) else 0,
+            regspec=regspec,
+            is_store=request.is_store,
+            sync_pre=request.sync_pre,
+            sync_post=request.sync_post,
+            vthread=request.vthread,
+            cluster=request.cluster,
+            is_fp=is_fp,
+            cycle=cycle,
+            extra={"request": request},
+        )
+
+    # -------------------------------------------------- privileged operations
+
+    def install_translation(self, address: int, frame: int, flags: int) -> LptEntry:
+        """Semantics of the privileged ``ltlbw`` operation.
+
+        If the node's page table already holds an entry for the page the
+        existing entry object is inserted into the LTLB (keeping block-status
+        state shared); otherwise a new entry is created with the supplied
+        frame and flags and registered in both structures.
+        """
+        page = page_of(address, self.page_table.page_size)
+        entry = self.page_table.lookup_page(page)
+        if entry is None:
+            status = (
+                BlockStatus.READ_WRITE
+                if flags & LTLB_FLAG_BLOCKS_VALID
+                else BlockStatus.INVALID
+            )
+            entry = LptEntry(
+                virtual_page=page,
+                physical_frame=frame,
+                writable=bool(flags & LTLB_FLAG_WRITABLE),
+                block_status=[status] * (self.page_table.page_size // BLOCK_SIZE_WORDS),
+            )
+            self.page_table.insert(entry)
+        self.ltlb.insert(entry)
+        return entry
+
+    def probe_translation(self, address: int) -> int:
+        """Semantics of the privileged ``ltlbp`` operation: physical frame of
+        the page containing *address* or -1."""
+        entry = self.ltlb.probe(address)
+        if entry is None:
+            entry = self.page_table.lookup(address)
+        return entry.physical_frame if entry is not None else -1
+
+    def set_block_status(self, address: int, status: BlockStatus) -> None:
+        """Semantics of the privileged ``bsset`` operation."""
+        entry = self.page_table.lookup(address)
+        if entry is None:
+            raise KeyError(f"bsset: no mapping for {address:#x} on node {self.node_id}")
+        entry.set_status(address, status)
+        self.page_table._mirror(entry)
+        # Keep any cached copy of the block consistent with the new status.
+        line = self.cache.probe(address)
+        if line is not None:
+            line.writable = entry.writable and status.allows_write()
+
+    def get_block_status(self, address: int) -> int:
+        entry = self.page_table.lookup(address)
+        if entry is None:
+            return -1
+        return int(entry.status_of(address))
+
+    def set_sync_bit_virtual(self, address: int, value: int) -> None:
+        """Semantics of the privileged ``syncset`` operation."""
+        line = self.cache.probe(address)
+        if line is not None:
+            self.cache.set_sync_bit(line, address, value)
+        entry = self.page_table.lookup(address)
+        if entry is not None:
+            self.sdram.set_sync_bit(entry.translate(address, self.page_table.page_size), value)
+
+    # ------------------------------------------------------ debug / loader API
+
+    def translate(self, address: int) -> Optional[int]:
+        entry = self.page_table.lookup(address)
+        if entry is None:
+            return None
+        return entry.translate(address, self.page_table.page_size)
+
+    def debug_read(self, address: int):
+        """Read a virtual address for debugging, seeing through the cache."""
+        line = self.cache.probe(address)
+        if line is not None:
+            return self.cache.read_word(line, address)
+        physical = self.translate(address)
+        if physical is None:
+            raise KeyError(f"debug_read: no mapping for {address:#x} on node {self.node_id}")
+        return self.sdram.read_word(physical)
+
+    def debug_write(self, address: int, value, sync_bit: Optional[int] = None) -> None:
+        """Write a virtual address directly (loader / test setup)."""
+        physical = self.translate(address)
+        if physical is None:
+            raise KeyError(f"debug_write: no mapping for {address:#x} on node {self.node_id}")
+        line = self.cache.probe(address)
+        if line is not None:
+            self.cache.write_word(line, address, value)
+            if sync_bit is not None:
+                self.cache.set_sync_bit(line, address, sync_bit)
+        self.sdram.write_word(physical, value, sync_bit)
+
+    def debug_sync_bit(self, address: int) -> int:
+        line = self.cache.probe(address)
+        if line is not None:
+            return self.cache.sync_bit(line, address)
+        physical = self.translate(address)
+        if physical is None:
+            raise KeyError(f"debug_sync_bit: no mapping for {address:#x}")
+        return self.sdram.sync_bit(physical)
+
+    def invalidate_block(self, address: int) -> Optional[List[object]]:
+        """Invalidate the cache line holding *address*, writing it back first;
+        returns the block data if it was cached, for the coherence layer."""
+        evicted = self.cache.invalidate(address)
+        if evicted is not None and evicted.dirty:
+            self._write_back(evicted)
+            return evicted.data
+        return None
+
+    def flush_cache(self) -> None:
+        for evicted in self.cache.flush():
+            self._write_back(evicted)
+
+    def read_block_virtual(self, address: int) -> List[object]:
+        """Read the whole (block-aligned) block containing *address*, seeing
+        through the cache (coherence-layer helper)."""
+        base = block_base(address)
+        return [self.debug_read(base + i) for i in range(BLOCK_SIZE_WORDS)]
+
+    def write_block_virtual(self, address: int, data: List[object]) -> None:
+        base = block_base(address)
+        for offset, value in enumerate(data):
+            self.debug_write(base + offset, value)
+
+    @property
+    def busy(self) -> bool:
+        """True while any request is still in flight inside the memory system."""
+        return (
+            any(self._bank_queues)
+            or bool(self._mif_queue)
+            or bool(self._pending)
+        )

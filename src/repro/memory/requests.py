@@ -1,0 +1,83 @@
+"""Memory request/response records exchanged between clusters and the memory
+system over the M-Switch and C-Switch."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.registers import RegisterRef
+
+
+class MemOpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """A memory operation travelling from a cluster to the memory system."""
+
+    kind: MemOpKind
+    address: int
+    #: Store data (None for loads).  May be a plain number or a GuardedPointer.
+    data: Optional[object] = None
+    #: Destination register of a load (None for stores).
+    dest: Optional[RegisterRef] = None
+    #: Issuing context, needed to deliver the response and to format event
+    #: records for faults.
+    vthread: int = 0
+    cluster: int = 0
+    #: Synchronisation-bit precondition/postcondition ('x', 'f' or 'e').
+    sync_pre: str = "x"
+    sync_post: str = "x"
+    #: Physical (untranslated) access -- privileged, bypasses the cache.
+    physical: bool = False
+    #: True when the destination register is a floating-point register.
+    is_fp: bool = False
+    #: Cycle at which the operation issued from the cluster.
+    issue_cycle: int = 0
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is MemOpKind.STORE
+
+    def __str__(self) -> str:
+        kind = "st" if self.is_store else "ld"
+        phys = "p" if self.physical else ""
+        return (
+            f"{phys}{kind}@{self.address:#x} (vt{self.vthread}/cl{self.cluster}, "
+            f"req {self.req_id})"
+        )
+
+
+@dataclass
+class MemResponse:
+    """A load result (or store acknowledgement) returning to a cluster."""
+
+    request: MemRequest
+    value: Optional[object] = None
+    #: Cycle at which the response leaves the memory system (enters the
+    #: C-Switch).
+    ready_cycle: int = 0
+    #: True when the operation faulted and was handed to the event system
+    #: instead of completing (no register writeback occurs).
+    faulted: bool = False
+
+    @property
+    def dest(self) -> Optional[RegisterRef]:
+        return self.request.dest
+
+    @property
+    def cluster(self) -> int:
+        return self.request.cluster
+
+    @property
+    def vthread(self) -> int:
+        return self.request.vthread

@@ -1,0 +1,108 @@
+"""SECDED (single-error-correcting, double-error-detecting) code.
+
+The MAP's SDRAM controller "performs SECDED error control" (Section 2).  This
+module implements a standard (72, 64) Hamming code extended with an overall
+parity bit: 64 data bits are protected by 7 Hamming check bits plus 1 parity
+bit.  A single flipped bit in the 72-bit codeword is corrected; two flipped
+bits are detected and reported.
+
+The implementation uses the classic positional construction: data bits are
+placed at the non-power-of-two positions 1..71 of the codeword, check bit
+``i`` at position ``2**i`` covers every position whose index has bit ``i``
+set, and position 0 holds the overall parity of the other 71 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+DATA_BITS = 64
+#: Number of Hamming check bits required for 64 data bits (2^7 >= 64+7+1).
+CHECK_BITS = 7
+#: Total codeword length: data + Hamming checks + overall parity.
+CODEWORD_BITS = DATA_BITS + CHECK_BITS + 1  # 72
+
+_WORD_MASK = (1 << DATA_BITS) - 1
+
+# Positions 1..71 that are not powers of two hold the data bits, LSB first.
+_DATA_POSITIONS = [pos for pos in range(1, CODEWORD_BITS) if pos & (pos - 1) != 0][:DATA_BITS]
+_CHECK_POSITIONS = [1 << i for i in range(CHECK_BITS)]
+
+
+class SecdedError(Exception):
+    """Raised when an uncorrectable (double-bit) error is detected."""
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def secded_encode(word: int) -> int:
+    """Encode a 64-bit data word into a 72-bit SECDED codeword."""
+    word &= _WORD_MASK
+    codeword = 0
+    for bit_index, position in enumerate(_DATA_POSITIONS):
+        if (word >> bit_index) & 1:
+            codeword |= 1 << position
+    # Hamming check bits.
+    for i, position in enumerate(_CHECK_POSITIONS):
+        covered = 0
+        for pos in range(1, CODEWORD_BITS):
+            if pos & position and (codeword >> pos) & 1:
+                covered ^= 1
+        if covered:
+            codeword |= 1 << position
+    # Overall parity over positions 1..71 stored at position 0.
+    if _parity(codeword >> 1):
+        codeword |= 1
+    return codeword
+
+
+def secded_decode(codeword: int) -> Tuple[int, bool]:
+    """Decode a 72-bit codeword.
+
+    Returns ``(data_word, corrected)`` where *corrected* is True when a
+    single-bit error was found and repaired.
+
+    Raises
+    ------
+    SecdedError
+        When a double-bit error is detected.
+    """
+    syndrome = 0
+    for i, position in enumerate(_CHECK_POSITIONS):
+        covered = 0
+        for pos in range(1, CODEWORD_BITS):
+            if pos & position and (codeword >> pos) & 1:
+                covered ^= 1
+        if covered:
+            syndrome |= position
+    overall = _parity(codeword)
+
+    corrected = False
+    if syndrome != 0 and overall == 1:
+        # Single-bit error at position `syndrome`: correct it.
+        codeword ^= 1 << syndrome
+        corrected = True
+    elif syndrome != 0 and overall == 0:
+        # Non-zero syndrome but even overall parity: two bits flipped.
+        raise SecdedError(f"uncorrectable double-bit error (syndrome {syndrome:#x})")
+    elif syndrome == 0 and overall == 1:
+        # The parity bit itself flipped; data is intact.
+        codeword ^= 1
+        corrected = True
+
+    data = 0
+    for bit_index, position in enumerate(_DATA_POSITIONS):
+        if (codeword >> position) & 1:
+            data |= 1 << bit_index
+    return data, corrected
+
+
+def inject_error(codeword: int, bit_positions) -> int:
+    """Flip the given bit positions of a codeword (fault-injection helper)."""
+    for position in bit_positions:
+        if not 0 <= position < CODEWORD_BITS:
+            raise ValueError(f"bit position {position} outside the {CODEWORD_BITS}-bit codeword")
+        codeword ^= 1 << position
+    return codeword

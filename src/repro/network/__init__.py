@@ -1,0 +1,33 @@
+"""Inter-node communication subsystem.
+
+The M-Machine nodes are connected by a bidirectional 3-D mesh (Figure 1).
+The MAP chip integrates the network interfaces and the router (Figure 2) and
+provides (Section 4.1):
+
+* a user-level atomic ``SEND`` instruction whose destination is a *virtual
+  address*, translated to a physical node by the GTLB (backed by the GDT);
+* two message priorities (user requests at priority 0, system replies at
+  priority 1) with register-mapped hardware message queues read by the event
+  V-Thread;
+* protection: a program can only send to addresses in its own address space,
+  and only to registered dispatch instruction pointers (DIPs);
+* return-to-sender throttling so a node cannot inject messages faster than
+  the destination can consume them.
+"""
+
+from repro.network.message import Message, MessageKind
+from repro.network.gtlb import Gtlb, GtlbEntry, GlobalDestinationTable
+from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
+from repro.network.interface import NetworkInterface
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Gtlb",
+    "GtlbEntry",
+    "GlobalDestinationTable",
+    "MeshNetwork",
+    "coords_to_id",
+    "id_to_coords",
+    "NetworkInterface",
+]

@@ -1,0 +1,80 @@
+"""Messages.
+
+"A message is composed in a cluster's general registers and transmitted
+atomically with a single SEND instruction that takes as arguments a
+destination virtual address, a dispatch instruction pointer (DIP), and the
+message body length.  Hardware composes the message by prepending the
+destination and DIP to the message body and injects it into the network."
+(Section 4.1.)
+
+At the destination the message appears in the register-mapped queue as the
+word sequence ``[DIP, destination address, body...]`` -- exactly the order
+the receive code of Figure 7 consumes: ``JMP Rnet`` dispatches on the DIP,
+then the handler dequeues the address and the body words.
+
+Two additional message kinds exist below the software level and are consumed
+by the network input/output interfaces rather than enqueued: the ACK/NACK
+replies of the return-to-sender throttling protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class MessageKind(enum.Enum):
+    #: An ordinary (software-visible) message.
+    DATA = "data"
+    #: Hardware acknowledgement: the destination consumed the message; the
+    #: source releases the reserved return buffer (increments its counter).
+    ACK = "ack"
+    #: Hardware negative acknowledgement: the destination queue was full; the
+    #: original message contents are returned to the source for buffering and
+    #: later retransmission.
+    NACK = "nack"
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A message travelling through the mesh."""
+
+    kind: MessageKind
+    source_node: int
+    dest_node: int
+    priority: int = 0
+    #: Dispatch instruction pointer (instruction index in the receiving
+    #: message handler's program).
+    dip: int = 0
+    #: The destination virtual address named by the SEND (None for the
+    #: privileged physical-destination sends used by system reply handlers).
+    dest_address: Optional[int] = None
+    body: List[object] = field(default_factory=list)
+    #: Cycle the SEND issued (source timestamp, for traces).
+    send_cycle: int = 0
+    #: For NACKs: the returned original message.
+    returned: Optional["Message"] = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def queue_words(self) -> List[object]:
+        """Word sequence pushed into the destination's register-mapped queue."""
+        address_word = self.dest_address if self.dest_address is not None else 0
+        return [self.dip, address_word] + list(self.body)
+
+    @property
+    def length_words(self) -> int:
+        """Total message length in words (header + body), used for channel
+        occupancy in the mesh model."""
+        return 2 + len(self.body)
+
+    def __str__(self) -> str:
+        return (
+            f"Message#{self.msg_id}({self.kind.value}, {self.source_node}->{self.dest_node}, "
+            f"pri={self.priority}, dip={self.dip}, body={len(self.body)}w)"
+        )

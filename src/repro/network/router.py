@@ -1,0 +1,68 @@
+"""Dimension-order routing.
+
+Each MAP chip integrates a router for the bidirectional 3-D mesh (Figure 2).
+Routing is deterministic dimension order -- the message is first moved to the
+correct X coordinate, then Y, then Z -- which is deadlock-free on a mesh and
+is what this class of machines (J-Machine, Cray T3D) used.
+
+:class:`Router` captures the per-node routing decision and per-port traffic
+statistics; :class:`~repro.network.mesh.MeshNetwork` composes routers into the
+full network and adds link occupancy/latency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+Coords = Tuple[int, int, int]
+
+#: Output port names of a 3-D mesh router (plus the ejection port).
+PORTS = ("+x", "-x", "+y", "-y", "+z", "-z", "eject")
+
+
+def next_hop(current: Coords, dest: Coords) -> Tuple[Optional[str], Coords]:
+    """One dimension-order routing step.
+
+    Returns ``(port, next_coords)``; port is ``"eject"`` (and the coordinates
+    are unchanged) when the message has arrived.
+    """
+    axes = ("x", "y", "z")
+    for dim in range(3):
+        if current[dim] != dest[dim]:
+            step = 1 if dest[dim] > current[dim] else -1
+            port = ("+" if step > 0 else "-") + axes[dim]
+            next_coords = list(current)
+            next_coords[dim] += step
+            return port, tuple(next_coords)
+    return "eject", current
+
+
+def dimension_order_path(source: Coords, dest: Coords) -> List[Coords]:
+    """The full sequence of coordinates visited from *source* to *dest*,
+    inclusive of both endpoints."""
+    path = [source]
+    current = source
+    while current != dest:
+        _, current = next_hop(current, dest)
+        path.append(current)
+    return path
+
+
+class Router:
+    """The router of one node: routing decision plus traffic accounting."""
+
+    def __init__(self, coords: Coords, name: str = "router"):
+        self.coords = coords
+        self.name = name
+        self.port_traffic = Counter()
+        self.messages_routed = 0
+
+    def route(self, dest: Coords) -> Tuple[Optional[str], Coords]:
+        port, next_coords = next_hop(self.coords, dest)
+        self.port_traffic[port] += 1
+        self.messages_routed += 1
+        return port, next_coords
+
+    def __repr__(self) -> str:
+        return f"Router({self.coords}, routed={self.messages_routed})"

@@ -1,0 +1,13 @@
+"""M-Machine nodes.
+
+Each node consists of a multi-ALU (MAP) chip and 1 MW (8 MB) of synchronous
+DRAM (Section 2).  :class:`~repro.node.node.Node` assembles the four
+execution clusters, the two on-chip switches, the memory system, the event
+and message queues, the GTLB and the network interface into one simulated
+node; :mod:`repro.node.map_chip` documents the on-chip/off-chip split.
+"""
+
+from repro.node.node import Node
+from repro.node.map_chip import MapChip
+
+__all__ = ["Node", "MapChip"]

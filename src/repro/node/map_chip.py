@@ -1,0 +1,21 @@
+"""The MAP chip.
+
+The paper draws a hardware boundary between the MAP chip (clusters, switches,
+cache banks, memory interface, LTLB, GTLB, network interfaces and router) and
+the off-chip SDRAM (Figure 2).  The simulator models both sides inside a
+single :class:`~repro.node.node.Node` object because nothing in the paper's
+evaluation depends on where the boundary falls -- only on the latencies
+across it, which are configured in :class:`repro.core.config.MemoryConfig`.
+
+:class:`MapChip` is an alias kept so code and documentation can refer to the
+on-chip component by its architectural name.
+"""
+
+from repro.node.node import Node
+
+
+class MapChip(Node):
+    """Alias of :class:`~repro.node.node.Node`; see the module docstring."""
+
+
+__all__ = ["MapChip"]

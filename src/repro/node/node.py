@@ -1,0 +1,479 @@
+"""One M-Machine node: a MAP chip plus its local SDRAM.
+
+The node is the integration point of the simulator.  It owns the four
+execution clusters, the C-Switch and M-Switch, the memory system, the
+asynchronous event queues, the per-cluster synchronous exception queues, the
+two register-mapped message queues, the GTLB and the network interface, and
+it drives them in a fixed phase order each cycle:
+
+1. deliver C-Switch transfers (register writes become visible),
+2. apply each cluster's local result writebacks,
+3. enqueue asynchronous events whose formatting delay has elapsed,
+4. advance the memory system and forward its responses to the C-Switch,
+5. run any native (Python) runtime handlers attached to the node,
+6. let each cluster's synchronization stage issue one instruction,
+7. advance the network interface (retransmission of returned messages).
+
+Because writebacks and deliveries precede issue, result latencies observed by
+dependent instructions match the configured unit/switch latencies exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster, RegWrite
+from repro.core.config import (
+    EVENT_CLUSTER_LTLB,
+    EVENT_CLUSTER_MSG_P0,
+    EVENT_CLUSTER_MSG_P1,
+    EVENT_CLUSTER_SYNC_STATUS,
+    EVENT_SLOT,
+    EXCEPTION_SLOT,
+    MachineConfig,
+)
+from repro.events.queue import EventQueue, HardwareQueue
+from repro.events.records import EventRecord, EventType
+from repro.isa.program import Program
+from repro.isa.registers import unpack_regspec
+from repro.memory.cache import InterleavedCache
+from repro.memory.ltlb import Ltlb
+from repro.memory.memory_system import MemorySystem
+from repro.memory.page_table import (
+    BLOCK_SIZE_WORDS,
+    BlockStatus,
+    LocalPageTable,
+    LptEntry,
+    LPT_ENTRY_WORDS,
+)
+from repro.memory.requests import MemRequest
+from repro.memory.sdram import Sdram, SdramTiming
+from repro.network.gtlb import GlobalDestinationTable, Gtlb
+from repro.network.interface import NetworkInterface
+from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
+from repro.network.message import Message
+from repro.switches.crossbar import BROADCAST, Crossbar
+
+
+class Node:
+    """One node (MAP chip + SDRAM) of the M-Machine."""
+
+    def __init__(
+        self,
+        node_id: int,
+        coords: Tuple[int, int, int],
+        config: MachineConfig,
+        mesh: MeshNetwork,
+        gdt: GlobalDestinationTable,
+        tracer=None,
+    ):
+        self.node_id = node_id
+        self.coords = coords
+        self.config = config
+        self.mesh = mesh
+        self.tracer = tracer
+        self.protection_enabled = config.runtime.protection_enabled
+
+        memory_config = config.memory
+        node_config = config.node
+        network_config = config.network
+
+        # --- memory subsystem -------------------------------------------------
+        self.sdram = Sdram(
+            size_words=memory_config.sdram_size_words,
+            timing=SdramTiming(
+                row_activate=memory_config.sdram_row_activate,
+                cas=memory_config.sdram_cas,
+                cycles_per_word=memory_config.sdram_cycles_per_word,
+                row_size_words=memory_config.sdram_row_size_words,
+            ),
+            secded_enabled=memory_config.secded_enabled,
+            name=f"sdram{node_id}",
+        )
+        self.cache = InterleavedCache(
+            num_banks=memory_config.cache_banks,
+            bank_size_words=memory_config.bank_size_words,
+            line_size_words=memory_config.line_size_words,
+            associativity=memory_config.cache_associativity,
+            name=f"cache{node_id}",
+        )
+        self.ltlb = Ltlb(
+            num_entries=memory_config.ltlb_entries,
+            page_size=memory_config.page_size_words,
+            name=f"ltlb{node_id}",
+        )
+        self.page_table = LocalPageTable(
+            num_entries=memory_config.lpt_entries,
+            page_size=memory_config.page_size_words,
+        )
+        #: Physical word address of the memory-resident LPT image (at the top
+        #: of the node's SDRAM); the assembly LTLB-miss handler walks it with
+        #: physical loads.
+        self.lpt_phys_base = (
+            memory_config.sdram_size_words - memory_config.lpt_entries * LPT_ENTRY_WORDS
+        )
+        self.page_table.attach_writeback(self._write_lpt_image)
+        self.memory = MemorySystem(
+            node_id,
+            self.cache,
+            self.ltlb,
+            self.page_table,
+            self.sdram,
+            bank_latency=memory_config.bank_latency,
+            mif_latency=memory_config.mif_latency,
+            ltlb_latency=memory_config.ltlb_latency,
+            fill_latency=memory_config.fill_latency,
+            event_enqueue_latency=memory_config.event_enqueue_latency,
+            event_sink=self.schedule_event,
+            tracer=tracer,
+        )
+
+        # --- queues -----------------------------------------------------------
+        self.event_queue_sync = EventQueue(node_config.event_queue_records,
+                                           name=f"n{node_id}-evq-sync")
+        self.event_queue_ltlb = EventQueue(node_config.event_queue_records,
+                                           name=f"n{node_id}-evq-ltlb")
+        self.msg_queue_p0 = HardwareQueue(network_config.message_queue_words,
+                                          name=f"n{node_id}-msgq-p0")
+        self.msg_queue_p1 = HardwareQueue(network_config.message_queue_words,
+                                          name=f"n{node_id}-msgq-p1")
+        self.exception_queues = [
+            EventQueue(node_config.exception_queue_records, name=f"n{node_id}-excq-c{c}")
+            for c in range(node_config.num_clusters)
+        ]
+        self._pending_events: List[Tuple[int, EventRecord]] = []
+
+        # --- network ------------------------------------------------------------
+        self.gtlb = Gtlb(gdt, name=f"gtlb{node_id}")
+        self.net = NetworkInterface(
+            node_id,
+            network_config,
+            mesh,
+            self.gtlb,
+            self.msg_queue_p0,
+            self.msg_queue_p1,
+            tracer=tracer,
+        )
+
+        # --- execution ------------------------------------------------------------
+        self.cswitch = Crossbar(
+            num_outputs=node_config.num_clusters,
+            latency=node_config.cswitch_latency,
+            max_transfers_per_cycle=node_config.switch_transfers_per_cycle,
+            name=f"n{node_id}-cswitch",
+        )
+        self.mswitch_latency = node_config.mswitch_latency
+        self.clusters = [
+            Cluster(index, self, config.cluster, node_config)
+            for index in range(node_config.num_clusters)
+        ]
+
+        #: Native (Python) runtime handlers attached to this node; each is an
+        #: object with ``tick(node, cycle)``.
+        self.native_handlers: List[object] = []
+
+        # --- physical memory allocation -------------------------------------------
+        self._next_frame = 0
+        self._max_frames = self.lpt_phys_base // memory_config.page_size_words
+
+        # Statistics
+        self.events_enqueued = 0
+        self.instructions_last_cycle = 0
+
+    # ------------------------------------------------------------------- tracing
+
+    def trace(self, cycle: int, category: str, **info) -> None:
+        if self.tracer is not None:
+            self.tracer.record(cycle, self.node_id, category, **info)
+
+    # ------------------------------------------------------------------- LPT image
+
+    def _write_lpt_image(self, slot: int, words: List[int]) -> None:
+        self.sdram.write_block(self.lpt_phys_base + slot * LPT_ENTRY_WORDS, words)
+
+    # -------------------------------------------------------------- frame allocation
+
+    def allocate_frame(self) -> int:
+        if self._next_frame >= self._max_frames:
+            raise MemoryError(f"node {self.node_id} is out of physical page frames")
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    def map_page(
+        self,
+        virtual_page: int,
+        frame: Optional[int] = None,
+        writable: bool = True,
+        block_status: BlockStatus = BlockStatus.READ_WRITE,
+        preload_ltlb: bool = True,
+    ) -> LptEntry:
+        """Create a local mapping for *virtual_page* (loader / runtime API)."""
+        if frame is None:
+            frame = self.allocate_frame()
+        blocks = self.config.memory.page_size_words // BLOCK_SIZE_WORDS
+        entry = LptEntry(
+            virtual_page=virtual_page,
+            physical_frame=frame,
+            writable=writable,
+            block_status=[block_status] * blocks,
+        )
+        self.page_table.insert(entry)
+        if preload_ltlb:
+            self.ltlb.insert(entry)
+        return entry
+
+    # ------------------------------------------------------------------ memory API
+
+    def write_word(self, address: int, value, sync_bit: Optional[int] = None) -> None:
+        self.memory.debug_write(address, value, sync_bit)
+
+    def read_word(self, address: int):
+        return self.memory.debug_read(address)
+
+    # ---------------------------------------------------------------- thread loading
+
+    def load_hthread(
+        self,
+        slot: int,
+        cluster: int,
+        program: Program,
+        registers: Optional[dict] = None,
+        entry: Optional[str] = None,
+    ):
+        """Load a program into one H-Thread (one slot on one cluster)."""
+        return self.clusters[cluster].load_program(slot, program, registers, entry)
+
+    def load_vthread(
+        self,
+        slot: int,
+        programs: Dict[int, Program],
+        registers: Optional[Dict[int, dict]] = None,
+        entries: Optional[Dict[int, str]] = None,
+    ) -> None:
+        """Load a V-Thread: one program per cluster (missing clusters stay idle)."""
+        registers = registers or {}
+        entries = entries or {}
+        for cluster, program in programs.items():
+            self.load_hthread(slot, cluster, program, registers.get(cluster), entries.get(cluster))
+
+    def context(self, slot: int, cluster: int):
+        return self.clusters[cluster].context(slot)
+
+    # -------------------------------------------------------- cluster-facing services
+
+    def queue_for(self, cluster_id: int, slot: int, name: str) -> Optional[HardwareQueue]:
+        """The hardware queue behind the ``net``/``evq`` register for a given
+        H-Thread, or None if that H-Thread has no such queue (Section 3.3)."""
+        if name == "net":
+            if slot != EVENT_SLOT:
+                return None
+            if cluster_id == EVENT_CLUSTER_MSG_P0:
+                return self.msg_queue_p0
+            if cluster_id == EVENT_CLUSTER_MSG_P1:
+                return self.msg_queue_p1
+            return None
+        if name == "evq":
+            if slot == EVENT_SLOT:
+                if cluster_id == EVENT_CLUSTER_SYNC_STATUS:
+                    return self.event_queue_sync
+                if cluster_id == EVENT_CLUSTER_LTLB:
+                    return self.event_queue_ltlb
+                return None
+            if slot == EXCEPTION_SLOT:
+                return self.exception_queues[cluster_id]
+        return None
+
+    def memory_port_available(self, cluster_id: int) -> bool:
+        """Each cluster has one memory-unit port onto the M-Switch; the switch
+        accepts one request per cluster per cycle, which the one-instruction-
+        per-cycle issue limit already guarantees."""
+        return True
+
+    def submit_memory_request(self, request: MemRequest, cycle: int) -> None:
+        self.memory.submit(request, cycle + self.mswitch_latency)
+
+    def can_send(self, priority: int) -> bool:
+        return self.net.can_send(priority)
+
+    def send_message(
+        self,
+        cycle: int,
+        cluster: int,
+        vthread: int,
+        dest_address,
+        dip: int,
+        body: List[object],
+        priority: int,
+        physical_node: Optional[int],
+    ) -> Message:
+        message = self.net.send(
+            cycle=cycle,
+            dest_address=dest_address,
+            dip=dip,
+            body=body,
+            priority=priority,
+            physical_node=physical_node,
+            check_dip=self.protection_enabled and vthread not in (EVENT_SLOT, EXCEPTION_SLOT),
+        )
+        self.trace(cycle, "send", cluster=cluster, slot=vthread, msg=message.msg_id,
+                   dest=message.dest_node, priority=priority)
+        return message
+
+    def cswitch_register_write(self, dest_cluster: int, write: RegWrite, cycle: int) -> None:
+        self.cswitch.submit(dest_cluster, write, cycle)
+
+    def cswitch_broadcast(self, write: RegWrite, cycle: int) -> None:
+        self.cswitch.submit(BROADCAST, write, cycle)
+
+    def xregwr(self, spec: int, value, cycle: int) -> None:
+        """Privileged write of an arbitrary thread register (used by the
+        software runtime to deliver remote-load results, Section 4.2)."""
+        vthread, cluster, ref = unpack_regspec(int(spec))
+        self.cswitch.submit(
+            cluster,
+            RegWrite(vthread=vthread, ref=ref, value=value, clear_pending=True, origin="xregwr"),
+            cycle,
+        )
+        self.trace(cycle, "xregwr", slot=vthread, cluster=cluster, reg=str(ref))
+
+    def gtlb_node_of(self, address: int) -> int:
+        coords = self.gtlb.node_coords_of(address)
+        if coords is None:
+            return -1
+        return coords_to_id(coords, self.mesh.shape)
+
+    def post_exception(self, cluster_id: int, record: EventRecord, cycle: int) -> None:
+        if not self.exception_queues[cluster_id].push_record(record):
+            raise RuntimeError(
+                f"node {self.node_id}: exception queue of cluster {cluster_id} overflowed"
+            )
+
+    # -------------------------------------------------------------------- events
+
+    def schedule_event(self, record: EventRecord, at_cycle: int) -> None:
+        """Called by the memory system: the event record becomes visible in
+        its hardware queue at *at_cycle*."""
+        self._pending_events.append((at_cycle, record))
+
+    def _enqueue_due_events(self, cycle: int) -> None:
+        if not self._pending_events:
+            return
+        due = [entry for entry in self._pending_events if entry[0] <= cycle]
+        if not due:
+            return
+        self._pending_events = [entry for entry in self._pending_events if entry[0] > cycle]
+        for at_cycle, record in sorted(due, key=lambda entry: entry[0]):
+            queue = (
+                self.event_queue_ltlb
+                if record.event_type is EventType.LTLB_MISS
+                else self.event_queue_sync
+            )
+            if not queue.push_record(record):
+                raise RuntimeError(
+                    f"node {self.node_id}: event queue {queue.name!r} overflowed "
+                    f"(the M-Machine sizes event queues so this cannot happen)"
+                )
+            self.events_enqueued += 1
+            self.trace(cycle, "event_enqueue", type=record.event_type.name,
+                       address=record.address, queue=queue.name)
+
+    # ---------------------------------------------------------------------- tick
+
+    def tick(self, cycle: int) -> int:
+        """Advance the node one cycle; returns the number of instructions
+        issued (used for quiescence detection)."""
+        # 1. C-Switch deliveries.
+        for dest_cluster, payload in self.cswitch.deliver(cycle):
+            self.clusters[dest_cluster].receive(payload, cycle)
+            if isinstance(payload, RegWrite) and payload.origin:
+                self.trace(cycle, "reg_write", cluster=dest_cluster, slot=payload.vthread,
+                           reg=str(payload.ref), origin=payload.origin)
+
+        # 2. Local writebacks.
+        for cluster in self.clusters:
+            cluster.apply_writebacks(cycle)
+
+        # 3. Events whose hardware formatting delay has elapsed.
+        self._enqueue_due_events(cycle)
+
+        # 4. Memory system; its responses return over the C-Switch.
+        for response in self.memory.tick(cycle):
+            if response.dest is not None and not response.faulted:
+                self.cswitch.submit(
+                    response.cluster,
+                    RegWrite(
+                        vthread=response.vthread,
+                        ref=response.dest,
+                        value=response.value,
+                        clear_pending=True,
+                        origin="memory",
+                    ),
+                    cycle,
+                )
+                self.trace(cycle, "mem_response", req=response.request.req_id,
+                           cluster=response.cluster, slot=response.vthread)
+
+        # 5. Native runtime handlers.
+        for handler in self.native_handlers:
+            handler.tick(self, cycle)
+
+        # 6. Issue.
+        issued = 0
+        for cluster in self.clusters:
+            if cluster.issue(cycle):
+                issued += 1
+        self.instructions_last_cycle = issued
+
+        # 7. Network interface housekeeping.
+        self.net.tick(cycle)
+        return issued
+
+    # ------------------------------------------------------------------ liveness
+
+    @property
+    def has_pending_work(self) -> bool:
+        """True when anything inside the node is still in flight (used by the
+        machine's quiescence detector together with issue counts)."""
+        return (
+            self.memory.busy
+            or bool(self._pending_events)
+            or self.cswitch.pending > 0
+            or not self.msg_queue_p0.is_empty
+            or not self.msg_queue_p1.is_empty
+            or not self.event_queue_sync.is_empty
+            or not self.event_queue_ltlb.is_empty
+            or self.net.busy
+            or any(handler.busy for handler in self.native_handlers if hasattr(handler, "busy"))
+        )
+
+    @property
+    def user_threads_finished(self) -> bool:
+        return all(cluster.user_threads_finished for cluster in self.clusters)
+
+    # ------------------------------------------------------------------ statistics
+
+    def stats(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "coords": self.coords,
+            "clusters": [cluster.stats() for cluster in self.clusters],
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "writebacks": self.cache.writebacks,
+            },
+            "ltlb": {
+                "hits": self.ltlb.hits,
+                "misses": self.ltlb.misses,
+            },
+            "events": self.events_enqueued,
+            "messages_sent": self.net.messages_sent,
+            "messages_received": self.net.messages_received,
+            "sdram_reads": self.sdram.reads,
+            "sdram_writes": self.sdram.writes,
+        }
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, coords={self.coords})"

@@ -1,0 +1,131 @@
+"""Address-space and data-placement helpers.
+
+The paper's programming model is a flat, shared, global virtual address space
+whose page-groups are distributed across nodes by GTLB entries (Section 4.1)
+with local caching of remote data handled either by the remote-access
+handlers (Section 4.2) or the DRAM-caching layer (Section 4.3).  These
+helpers build the common layouts used by the examples, tests and benchmarks:
+
+* :func:`setup_private_heap` -- one page-group per node, homed entirely on
+  that node (private working storage);
+* :func:`setup_interleaved_heap` -- a single page-group spread over a 3-D
+  region of nodes with a chosen pages-per-node interleaving (the distributed
+  data of the stencil and traffic workloads);
+* :class:`SharedArray` -- a convenience wrapper for reading/writing a dense
+  array held in the global address space from the host (loader) side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.machine import MMachine
+from repro.network.gtlb import GtlbEntry
+
+
+def _log2_exact(value: int) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def region_extent_for(machine: MMachine) -> Tuple[int, int, int]:
+    """The extent exponents covering the whole mesh (requires power-of-two
+    mesh dimensions, as the GTLB entry format does)."""
+    shape = machine.config.network.mesh_shape
+    return tuple(_log2_exact(dim) for dim in shape)
+
+
+def setup_private_heap(machine: MMachine, node_id: int, base_address: int,
+                       num_pages: int = 1) -> GtlbEntry:
+    """Map *num_pages* pages starting at *base_address* entirely on one node."""
+    return machine.map_on_node(node_id, base_address, num_pages)
+
+
+def setup_interleaved_heap(
+    machine: MMachine,
+    base_address: int,
+    num_pages: int,
+    pages_per_node: int = 1,
+    start_node: Tuple[int, int, int] = (0, 0, 0),
+    extent: Optional[Tuple[int, int, int]] = None,
+) -> GtlbEntry:
+    """Map a page-group across a region of nodes (defaults to the whole mesh)."""
+    if extent is None:
+        extent = region_extent_for(machine)
+    return machine.map_region(
+        base_address,
+        num_pages,
+        start_node=start_node,
+        extent=extent,
+        pages_per_node=pages_per_node,
+    )
+
+
+@dataclass
+class SharedArray:
+    """A dense array of words in the global virtual address space."""
+
+    machine: MMachine
+    base_address: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("array length must be positive")
+
+    def address_of(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range for array of {self.length}")
+        return self.base_address + index
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int):
+        return self.machine.read_word(self.address_of(index))
+
+    def __setitem__(self, index: int, value) -> None:
+        self.machine.write_word(self.address_of(index), value)
+
+    def fill(self, values: Sequence[object]) -> None:
+        if len(values) > self.length:
+            raise ValueError("too many values for the array")
+        for index, value in enumerate(values):
+            self[index] = value
+
+    def to_list(self) -> List[object]:
+        return [self[index] for index in range(self.length)]
+
+    def home_nodes(self) -> Dict[int, int]:
+        """Map each element index to its home node id (placement check)."""
+        return {
+            index: self.machine.home_node_of(self.address_of(index)).node_id
+            for index in range(self.length)
+        }
+
+
+def make_shared_array(
+    machine: MMachine,
+    base_address: int,
+    length: int,
+    pages_per_node: int = 1,
+    interleaved: bool = True,
+    node_id: int = 0,
+) -> SharedArray:
+    """Map enough pages for *length* words and return a :class:`SharedArray`.
+
+    The page count is rounded up to the next power of two as required by the
+    GTLB entry format.
+    """
+    page_size = machine.page_size
+    pages_needed = max(1, -(-length // page_size))
+    num_pages = 1
+    while num_pages < pages_needed:
+        num_pages *= 2
+    if interleaved and machine.num_nodes > 1:
+        setup_interleaved_heap(machine, base_address, num_pages, pages_per_node=pages_per_node)
+    else:
+        setup_private_heap(machine, node_id, base_address, num_pages)
+    return SharedArray(machine, base_address, length)

@@ -1,0 +1,182 @@
+"""Native (Python) runtime handlers.
+
+The paper publishes the mechanism of its Section 4.3 software DRAM-caching /
+coherence layer (block-status bits, a home-node directory, handlers invoked
+through the same event V-Thread machinery) but not the handler code itself.
+Per the reproduction's substitution rule those handlers are implemented here
+as *native handlers*: Python callbacks attached to a node's hardware queues
+that consume the same event records / message words an assembly handler
+would, perform their effects through the node's architectural interfaces
+(memory system, network interface, ``xregwr``), and charge an explicit cycle
+cost during which they are busy and process nothing else.
+
+The native-handler framework is also used for the default
+memory-synchronizing-fault policy (retry after a back-off), which the paper
+mentions but does not specify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import RuntimeConfig
+from repro.events.queue import EventQueue, HardwareQueue
+from repro.events.records import EventRecord, EventType
+
+
+class NativeHandler:
+    """Base class: a handler bound to one hardware queue of one node."""
+
+    def __init__(self, node, runtime_config: RuntimeConfig, name: str = "native"):
+        self.node = node
+        self.runtime_config = runtime_config
+        self.name = name
+        self.busy_until = -1
+        self.invocations = 0
+        self.cycles_busy = 0
+
+    # -- framework -----------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return False
+
+    def tick(self, node, cycle: int) -> None:
+        if cycle < self.busy_until:
+            return
+        cost = self.poll(cycle)
+        if cost:
+            self.invocations += 1
+            self.cycles_busy += cost
+            self.busy_until = cycle + cost
+
+    def poll(self, cycle: int) -> int:
+        """Check the bound queue; handle at most one item; return its cycle
+        cost (0 when there was nothing to do)."""
+        raise NotImplementedError
+
+    # -- cost helpers ----------------------------------------------------------------
+
+    def dispatch_cost(self, words_touched: int = 0) -> int:
+        return (
+            self.runtime_config.native_handler_dispatch_cycles
+            + self.runtime_config.native_handler_cycles_per_word * words_touched
+        )
+
+    def trace(self, cycle: int, category: str, **info) -> None:
+        self.node.trace(cycle, category, handler=self.name, **info)
+
+
+class EventNativeHandler(NativeHandler):
+    """A native handler that consumes :class:`EventRecord` objects."""
+
+    def __init__(self, node, runtime_config: RuntimeConfig, queue: EventQueue, name: str):
+        super().__init__(node, runtime_config, name)
+        self.queue = queue
+
+    def poll(self, cycle: int) -> int:
+        if self.queue.pending_records == 0:
+            return 0
+        record = self.queue.pop_record()
+        self.trace(cycle, "handler_dispatch", event=record.event_type.name,
+                   address=record.address)
+        return self.handle(record, cycle)
+
+    def handle(self, record: EventRecord, cycle: int) -> int:
+        raise NotImplementedError
+
+
+class MessageNativeHandler(NativeHandler):
+    """A native handler that consumes messages from a register-mapped queue.
+
+    Message word layout is ``[DIP, address, body...]``; the body length is a
+    function of the DIP, supplied by the ``body_lengths`` table.
+    """
+
+    def __init__(
+        self,
+        node,
+        runtime_config: RuntimeConfig,
+        queue: HardwareQueue,
+        body_lengths: Dict[int, int],
+        name: str,
+    ):
+        super().__init__(node, runtime_config, name)
+        self.queue = queue
+        self.body_lengths = body_lengths
+        self.unknown_dips = 0
+
+    def poll(self, cycle: int) -> int:
+        if self.queue.is_empty:
+            return 0
+        dip = int(self.queue.peek_word())
+        if dip not in self.body_lengths:
+            # Unknown message type: drop the DIP word and count it.  This is
+            # the native analogue of jumping to an unregistered DIP.
+            self.queue.pop_word()
+            self.unknown_dips += 1
+            return self.dispatch_cost()
+        body_length = self.body_lengths[dip]
+        if len(self.queue) < 2 + body_length:
+            # The message is still streaming in; try again next cycle.
+            return 0
+        self.queue.pop_word()  # the DIP we peeked
+        address = self.queue.pop_word()
+        body = [self.queue.pop_word() for _ in range(body_length)]
+        self.trace(cycle, "handler_dispatch", dip=dip, address=address, body_words=body_length)
+        return self.handle_message(dip, address, body, cycle)
+
+    def handle_message(self, dip: int, address: int, body: List[object], cycle: int) -> int:
+        raise NotImplementedError
+
+
+class SyncStatusFaultHandler(EventNativeHandler):
+    """Default handler for the cluster-0 event queue (memory-synchronizing
+    faults and -- in remote mode -- unexpected block-status faults).
+
+    A synchronizing load/store whose precondition failed is retried after a
+    back-off, so producer/consumer code using the full/empty bits makes
+    progress as soon as the producer stores (Section 2's synchronizing memory
+    operations).  A block-status fault is delegated to ``on_block_status``
+    when a coherence runtime installed one, and is an error otherwise.
+    """
+
+    def __init__(self, node, runtime_config: RuntimeConfig, queue: EventQueue,
+                 on_block_status: Optional[Callable[[EventRecord, int], int]] = None):
+        super().__init__(node, runtime_config, queue, name=f"sync-status-n{node.node_id}")
+        self.on_block_status = on_block_status
+        self.retries = 0
+        self._deferred: List[tuple] = []
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._deferred)
+
+    def tick(self, node, cycle: int) -> None:
+        # Re-submit deferred (backed-off) retries whose time has come, then
+        # process the queue as usual.
+        if self._deferred:
+            due = [entry for entry in self._deferred if entry[0] <= cycle]
+            self._deferred = [entry for entry in self._deferred if entry[0] > cycle]
+            for _, request in due:
+                self.node.memory.submit(request, cycle)
+                self.retries += 1
+        super().tick(node, cycle)
+
+    def handle(self, record: EventRecord, cycle: int) -> int:
+        if record.event_type is EventType.SYNC_FAULT:
+            request = record.extra.get("request")
+            if request is None:
+                return self.dispatch_cost()
+            retry_at = cycle + self.runtime_config.sync_fault_retry_cycles
+            self._deferred.append((retry_at, request))
+            self.trace(cycle, "handler_sync_retry", address=record.address, retry_at=retry_at)
+            return self.dispatch_cost(words_touched=1)
+        if record.event_type is EventType.BLOCK_STATUS:
+            if self.on_block_status is not None:
+                return self.on_block_status(record, cycle)
+            raise RuntimeError(
+                f"node {self.node.node_id}: block-status fault at {record.address:#x} "
+                f"but no coherence runtime is installed (shared_memory_mode='remote')"
+            )
+        raise RuntimeError(f"unexpected event {record} on the sync/status queue")

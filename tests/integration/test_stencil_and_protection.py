@@ -1,0 +1,131 @@
+"""Integration tests for the Figure 5 stencil kernels and for guarded-pointer
+protection."""
+
+import pytest
+
+from repro import (
+    GuardedPointer,
+    MMachine,
+    MachineConfig,
+    PointerPermission,
+)
+from repro.cluster.hthread import ThreadState
+from repro.workloads.stencil import make_stencil_workload
+
+HEAP = 0x10000
+
+
+def run_stencil(kind, n_hthreads):
+    machine = MMachine(MachineConfig.single_node())
+    machine.map_on_node(0, HEAP, num_pages=16)
+    workload = make_stencil_workload(kind=kind, n_hthreads=n_hthreads)
+    workload.setup(machine)
+    machine.run_until_user_done(max_cycles=30000)
+    return machine, workload
+
+
+class TestStencilKernels:
+    @pytest.mark.parametrize("kind, n_hthreads", [
+        ("7pt", 1), ("7pt", 2), ("7pt", 4),
+        ("27pt", 1), ("27pt", 2), ("27pt", 4),
+    ])
+    def test_numerical_result(self, kind, n_hthreads):
+        machine, workload = run_stencil(kind, n_hthreads)
+        assert workload.verify(machine)
+
+    def test_figure5_seven_point_static_depths(self):
+        """Figure 5: 12 instructions on one H-Thread vs 8 on two."""
+        single = make_stencil_workload("7pt", 1)
+        dual = make_stencil_workload("7pt", 2)
+        assert single.max_static_depth == 12
+        assert dual.max_static_depth == 8
+        assert dual.static_depths[0] == 7       # H-Thread 0 of Figure 5(b)
+        assert dual.static_depths[1] == 8       # H-Thread 1 of Figure 5(b)
+
+    def test_27_point_depth_shrinks_with_hthreads(self):
+        """Section 3.1: 'On a larger 27-point stencil, the depth is reduced
+        from 36 to 17 when run on 4 H-Threads' -- our schedules are a little
+        tighter in absolute terms but show the same ~2-2.5x reduction."""
+        one = make_stencil_workload("27pt", 1).max_static_depth
+        four = make_stencil_workload("27pt", 4).max_static_depth
+        assert one >= 30
+        assert four <= 17
+        assert one / four >= 2.0
+
+    def test_dynamic_cycles_improve_with_hthreads_for_27pt(self):
+        machine1, _ = run_stencil("27pt", 1)
+        machine4, _ = run_stencil("27pt", 4)
+        assert machine4.cycle < machine1.cycle
+
+    def test_workers_use_inter_cluster_transfers(self):
+        machine, workload = run_stencil("7pt", 4)
+        transfers = [event for event in machine.tracer.filter("reg_write", node=0)
+                     if event.info.get("origin", "").startswith("c")]
+        assert len(transfers) == 3     # three partials shipped to the storer
+
+    def test_operations_distributed_across_clusters(self):
+        machine, _ = run_stencil("7pt", 4)
+        for cluster in range(4):
+            assert machine.nodes[0].clusters[cluster].instructions_issued > 0
+
+
+class TestGuardedPointerProtection:
+    def _protected_machine(self):
+        config = MachineConfig.single_node()
+        config.runtime.protection_enabled = True
+        machine = MMachine(config)
+        machine.map_on_node(0, HEAP, num_pages=1)
+        return machine
+
+    def test_access_through_pointer_allowed(self):
+        machine = self._protected_machine()
+        machine.write_word(HEAP + 3, 17)
+        pointer = GuardedPointer(HEAP, 9, PointerPermission.rw())
+        machine.load_hthread(0, 0, 0, "ld i5, i1, #3\nhalt", registers={"i1": pointer})
+        machine.run_until_user_done(max_cycles=2000)
+        assert machine.register_value(0, 0, 0, "i5") == 17
+
+    def test_plain_integer_address_faults_when_protected(self):
+        machine = self._protected_machine()
+        machine.load_hthread(0, 0, 0, "ld i5, i1\nhalt", registers={"i1": HEAP})
+        machine.run_until_quiescent(max_cycles=2000)
+        assert machine.nodes[0].context(0, 0).state is ThreadState.FAULTED
+
+    def test_write_through_read_only_pointer_faults(self):
+        machine = self._protected_machine()
+        pointer = GuardedPointer(HEAP, 9, PointerPermission.READ)
+        machine.load_hthread(0, 0, 0, "st i6, i1\nhalt",
+                             registers={"i1": pointer, "i6": 1})
+        machine.run_until_quiescent(max_cycles=2000)
+        assert machine.nodes[0].context(0, 0).state is ThreadState.FAULTED
+
+    def test_access_outside_segment_faults(self):
+        machine = self._protected_machine()
+        pointer = GuardedPointer(HEAP, 3, PointerPermission.rw())   # 8-word segment
+        machine.load_hthread(0, 0, 0, "ld i5, i1, #64\nhalt", registers={"i1": pointer})
+        machine.run_until_quiescent(max_cycles=2000)
+        assert machine.nodes[0].context(0, 0).state is ThreadState.FAULTED
+
+    def test_lea_within_segment_then_load(self):
+        machine = self._protected_machine()
+        machine.write_word(HEAP + 5, 88)
+        pointer = GuardedPointer(HEAP, 9, PointerPermission.rw())
+        machine.load_hthread(0, 0, 0, "lea i2, i1, #5\nld i5, i2\nhalt",
+                             registers={"i1": pointer})
+        machine.run_until_user_done(max_cycles=2000)
+        assert machine.register_value(0, 0, 0, "i5") == 88
+
+    def test_user_cannot_forge_pointers(self):
+        machine = self._protected_machine()
+        machine.load_hthread(0, 0, 0, "setptr i1, i2, #9, #7\nhalt",
+                             registers={"i2": HEAP})
+        machine.run_until_quiescent(max_cycles=2000)
+        assert machine.nodes[0].context(0, 0).state is ThreadState.FAULTED
+
+    def test_protection_off_allows_integer_addresses(self):
+        machine = MMachine(MachineConfig.single_node())
+        machine.map_on_node(0, HEAP, num_pages=1)
+        machine.write_word(HEAP, 3)
+        machine.load_hthread(0, 0, 0, "ld i5, i1\nhalt", registers={"i1": HEAP})
+        machine.run_until_user_done(max_cycles=2000)
+        assert machine.register_value(0, 0, 0, "i5") == 3
