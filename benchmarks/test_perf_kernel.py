@@ -1,0 +1,118 @@
+"""Simulation-kernel throughput: event kernel vs naive loop.
+
+Not a paper figure -- this benchmark tracks the *host-side* cost of the
+simulator itself, which gates how large a mesh and how long a workload the
+paper-reproduction benchmarks can afford.  The workload is deliberately
+idle-heavy: one node on a 4x4x1 mesh performs a chain of dependent remote
+loads from the diagonally-opposite corner, so on almost every cycle almost
+every node is waiting -- the regime the paper's Figures 5-9 scenarios live
+in, and the worst case for the naive tick-everything loop (host cost
+O(cycles x nodes)).  The event kernel sleeps the idle nodes and jumps the
+clock across network round-trips, so its cost is O(work).
+
+The headline number recorded in the benchmark JSON is simulated
+cycles-per-second of host wall-clock time for each kernel, plus their
+ratio; ``test_event_kernel_speedup`` asserts the >= 2x floor from the
+issue's acceptance criteria (in practice the ratio is far higher).
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro import MMachine, MachineConfig
+
+REGION = 0x40000
+REPEATS = 24
+
+
+def _remote_read_chain(repeats: int = REPEATS) -> str:
+    """Dependent remote reads: every iteration waits for the previous reply,
+    so the machine is almost always idle."""
+    return f"""
+        mov i3, #0
+        mov i5, #0
+loop:   ld i4, i1          ; remote load (full network round trip)
+        add i5, i5, i4     ; depend on the loaded value
+        add i3, i3, #1
+        lt i6, i3, #{repeats}
+        br i6, loop
+        halt
+    """
+
+
+def _build_machine(kernel: str) -> MMachine:
+    config = MachineConfig.small(4, 4, 1)
+    config.sim.kernel = kernel
+    config.trace_enabled = False
+    machine = MMachine(config)
+    machine.map_on_node(15, REGION, num_pages=1)   # far corner of the mesh
+    machine.write_word(REGION, 3)
+    machine.load_hthread(0, 0, 0, _remote_read_chain(), registers={"i1": REGION})
+    return machine
+
+
+def _run(machine: MMachine) -> int:
+    machine.run_until_user_done(max_cycles=500_000)
+    assert machine.register_value(0, 0, 0, "i5") == 3 * REPEATS
+    return machine.cycle
+
+
+def _timed_run(kernel: str, rounds: int = 1):
+    """Run the workload *rounds* times on fresh machines and keep the best
+    wall time (the minimum is the standard noise-resistant estimator for a
+    deterministic computation on a shared host)."""
+    best = None
+    for _ in range(rounds):
+        machine = _build_machine(kernel)
+        start = time.perf_counter()
+        cycles = _run(machine)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[1]:
+            best = (cycles, elapsed, machine)
+    return best
+
+
+def test_event_kernel_throughput(benchmark):
+    """Record simulated cycles/second for both kernels in the benchmark
+    trajectory; the benchmarked callable is the event-kernel run."""
+    naive_cycles, naive_elapsed, _ = _timed_run("naive")
+
+    def run_event():
+        return _timed_run("event")
+
+    event_cycles, event_elapsed, machine = benchmark.pedantic(
+        run_event, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert event_cycles == naive_cycles, "kernels disagree on simulated time"
+
+    naive_cps = naive_cycles / naive_elapsed
+    event_cps = event_cycles / event_elapsed
+    speedup = event_cps / naive_cps
+    benchmark.extra_info["simulated_cycles"] = event_cycles
+    benchmark.extra_info["event_cycles_per_second"] = round(event_cps)
+    benchmark.extra_info["naive_cycles_per_second"] = round(naive_cps)
+    benchmark.extra_info["speedup_vs_naive"] = round(speedup, 2)
+    benchmark.extra_info["node_ticks"] = machine.kernel.node_ticks
+    benchmark.extra_info["node_ticks_naive_equivalent"] = naive_cycles * machine.num_nodes
+
+    report("Kernel throughput (idle-heavy 4x4x1 remote-read chain)", [
+        f"simulated cycles        {event_cycles}",
+        f"naive loop              {naive_cps:>12.0f} cycles/s",
+        f"event kernel            {event_cps:>12.0f} cycles/s",
+        f"speedup                 {speedup:>12.1f}x",
+        f"node ticks (event)      {machine.kernel.node_ticks} of "
+        f"{naive_cycles * machine.num_nodes} naive",
+    ])
+
+
+def test_event_kernel_speedup():
+    """Acceptance floor: >= 2x cycles/second on the idle-heavy internode
+    workload.  Best-of-three timing per kernel and a floor far below the
+    measured ~10x keep host jitter from flaking the suite."""
+    naive_cycles, naive_elapsed, _ = _timed_run("naive", rounds=3)
+    event_cycles, event_elapsed, _ = _timed_run("event", rounds=3)
+    assert event_cycles == naive_cycles
+    speedup = (event_cycles / event_elapsed) / (naive_cycles / naive_elapsed)
+    assert speedup >= 2.0, f"event kernel only {speedup:.2f}x faster than naive"

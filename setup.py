@@ -1,7 +1,56 @@
-"""Compatibility shim so environments without the ``wheel`` package can still
-do an editable install (``python setup.py develop`` or legacy
-``pip install -e .``).  All real metadata lives in ``pyproject.toml``."""
+"""Packaging for the M-Machine reproduction.
 
-from setuptools import setup
+``pip install -e .`` makes the ``repro`` package importable without the
+``PYTHONPATH=src`` prefix used in the documentation, and
+``pip install -e .[test]`` pulls in everything the test and benchmark
+suites need.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-mmachine",
+    version="0.2.0",
+    description=(
+        "Cycle-level simulator reproducing 'The M-Machine Multicomputer' "
+        "(Fillo, Keckler, Dally, Carter, Chang, Gurevich & Lee, MICRO-28 1995)"
+    ),
+    long_description=(
+        "A cycle-level model of the MAP multi-ALU processor and the 3-D mesh "
+        "multicomputer built from it: multithreaded execution clusters, "
+        "guarded pointers, the GTLB/LTLB translation hierarchy, user-level "
+        "message passing with return-to-sender throttling, and the software "
+        "runtime (event, message and coherence handlers) the paper's "
+        "evaluation depends on.  Simulation is driven by an event-driven, "
+        "activity-tracked kernel that skips idle nodes and idle cycles while "
+        "remaining cycle-exact against the reference tick loop."
+    ),
+    long_description_content_type="text/plain",
+    author="repro contributors",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    install_requires=[],          # the simulator itself is pure stdlib
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "hypothesis>=6",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.8",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Emulators",
+        "Topic :: Scientific/Engineering",
+    ],
+    zip_safe=False,
+)

@@ -31,6 +31,7 @@ from repro.core.config import (
     NetworkConfig,
     NodeConfig,
     RuntimeConfig,
+    SimConfig,
     EVENT_SLOT,
     EXCEPTION_SLOT,
     NUM_CLUSTERS,
@@ -45,7 +46,7 @@ from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, Prot
 from repro.memory.page_table import BlockStatus
 from repro.runtime.loader import SharedArray, make_shared_array
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "MMachine",
@@ -55,6 +56,7 @@ __all__ = [
     "NetworkConfig",
     "NodeConfig",
     "RuntimeConfig",
+    "SimConfig",
     "EVENT_SLOT",
     "EXCEPTION_SLOT",
     "NUM_CLUSTERS",

@@ -35,7 +35,7 @@ from repro.cluster.functional_units import (
 )
 from repro.cluster.hthread import HThreadContext, ThreadState
 from repro.cluster.icache import InstructionCache
-from repro.cluster.issue import make_issue_policy
+from repro.cluster.issue import HepBarrelPolicy, make_issue_policy
 from repro.core.config import (
     ClusterConfig,
     EVENT_SLOT,
@@ -80,6 +80,15 @@ class _Writeback:
 
 class SimulationError(Exception):
     """Raised for malformed programs (e.g. a remote register used as a source)."""
+
+
+def _residue_count(start: int, count: int, residue: int, modulus: int) -> int:
+    """Number of cycles ``c`` in ``[start, start + count)`` with
+    ``c % modulus == residue`` (the HEP barrel's turn cycles for one slot)."""
+    first = start + ((residue - start) % modulus)
+    if first >= start + count:
+        return 0
+    return (start + count - 1 - first) // modulus + 1
 
 
 class Cluster:
@@ -207,6 +216,74 @@ class Cluster:
 
         self.no_ready_cycles += 1
         return False
+
+    # ------------------------------------------------------- kernel scheduling
+
+    def next_writeback_cycle(self) -> Optional[int]:
+        """Earliest due cycle of an in-flight local writeback, or None
+        (SimComponent contract for the event kernel)."""
+        if not self._writebacks:
+            return None
+        return min(wb.due_cycle for wb in self._writebacks)
+
+    def idle_profile(self):
+        """Dry-run of the synchronization stage for the event kernel.
+
+        Returns ``None`` when the cluster could make progress on the next
+        cycle (an instruction is ready, or a PC ran off its program and the
+        implicit halt is still pending), meaning the node must stay awake.
+        Otherwise returns the frozen per-cycle statistics profile of an
+        idle/blocked cycle: ``("idle", ())`` when no H-Thread is runnable,
+        or ``("blocked", ((context, stall_reason), ...))`` for the runnable
+        slots the issue scan would visit.  The dry-run is side-effect free
+        (no fetch counts, no stall records): the profile is replayed in bulk
+        by :meth:`account_idle_cycles` when the node wakes.
+        """
+        stalled = []
+        for context in self.contexts:
+            if not context.is_runnable:
+                continue
+            instruction = self.icache.peek(context.slot, context.pc)
+            if instruction is None:
+                return None  # implicit halt pending: a real tick must run
+            try:
+                ready, reason = self._instruction_ready(context, instruction)
+            except SimulationError:
+                return None  # let the real issue scan raise at the same cycle
+            if ready:
+                return None
+            stalled.append((context, reason))
+        if not stalled:
+            return ("idle", ())
+        return ("blocked", tuple(stalled))
+
+    def account_idle_cycles(self, profile, start_cycle: int, num_cycles: int) -> None:
+        """Apply *num_cycles* worth of idle/blocked issue-stage statistics in
+        one step, exactly as *num_cycles* naive calls of :meth:`issue` on the
+        frozen state would have (the state cannot have changed while the
+        node slept, so the per-cycle increments are constant -- except under
+        the HEP barrel policy, where the scanned slot rotates with the clock
+        and the per-slot counts follow the cycle residues)."""
+        kind, stalled = profile
+        if kind == "idle":
+            self.idle_cycles += num_cycles
+            return
+        self.no_ready_cycles += num_cycles
+        if isinstance(self.policy, HepBarrelPolicy):
+            modulus = self.policy.num_slots
+            for context, reason in stalled:
+                visits = _residue_count(start_cycle, num_cycles, context.slot, modulus)
+                if visits:
+                    self.icache.fetches += visits
+                    context.stall_cycles += visits
+                    context.stall_reasons[reason] += visits
+        else:
+            # event-priority and round-robin scan every runnable slot each
+            # blocked cycle.
+            for context, reason in stalled:
+                self.icache.fetches += num_cycles
+                context.stall_cycles += num_cycles
+                context.stall_reasons[reason] += num_cycles
 
     # ---------------------------------------------------------------- readiness
 

@@ -55,10 +55,18 @@ class InstructionCache:
         Returns None when the slot has no program or the PC has run off the
         end of the program (which the cluster treats as an implicit halt).
         """
+        instruction = self.peek(slot, pc)
+        if instruction is not None:
+            self.fetches += 1
+        return instruction
+
+    def peek(self, slot: int, pc: int) -> Optional[Instruction]:
+        """Like :meth:`fetch` but without counting the access -- used by the
+        event kernel's readiness dry-run, which must not perturb the fetch
+        statistics the real issue stage will accrue."""
         program = self._programs.get(slot)
         if program is None or pc < 0 or pc >= len(program):
             return None
-        self.fetches += 1
         return program[pc]
 
     # -- capacity ----------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""The component contract of the event-driven simulation kernel.
+
+The naive loop ticks every model object every cycle, so a component never
+has to say when it next has work -- it is simply asked.  The event kernel
+(:mod:`repro.core.scheduler`) instead keeps an *activity ledger*: a node is
+ticked only while it is **active**, and an inactive node is woken either by
+an external stimulus (a mesh delivery) or by a **scheduled wakeup** at a
+cycle the component declared in advance.
+
+For that to be exact, every time-dependent sub-component must be able to
+answer one question: *given that you receive no external input, at which
+future cycle does your state next change by itself?*  That is the
+:class:`SimComponent` protocol.  Implementations in this tree:
+
+* :meth:`repro.memory.memory_system.MemorySystem.next_event_cycle` -- queued
+  bank/MIF requests and pending response completion times;
+* :meth:`repro.switches.crossbar.Crossbar.next_ready_cycle` -- in-flight
+  switch transfers;
+* :meth:`repro.network.interface.NetworkInterface.next_event_cycle` --
+  retransmission back-off expiries;
+* :meth:`repro.runtime.native.NativeHandler.next_event_cycle` -- queued
+  records gated behind the handler's ``busy_until`` charge, plus deferred
+  synchronizing-fault retries;
+* :meth:`repro.node.node.Node.next_event_cycle` -- the fold of all of the
+  above plus cluster writebacks and pending asynchronous event records.
+
+The contract has two rules:
+
+1. **No silent self-activation.**  If ``next_event_cycle(cycle)`` returns
+   ``None``, the component's observable state must not change on any later
+   cycle unless external input arrives first.  Returning a cycle earlier
+   than strictly necessary is always safe (the kernel ticks the component,
+   finds nothing to do, and asks again); returning one too late is a
+   correctness bug.
+2. **Ticks with no due work must be pure.**  Between "now" and the returned
+   cycle, a tick of the component must neither change architectural state
+   nor statistics, so the kernel may skip those ticks entirely.  (Per-cycle
+   statistics of the *issue* stage -- idle/stall counters -- are the one
+   exception, and the kernel reproduces them in bulk via
+   :meth:`repro.node.node.Node.account_idle_cycles`.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class SimComponent(Protocol):
+    """Anything the kernel can put to sleep and wake at a declared cycle."""
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """The earliest cycle strictly after *cycle* at which this
+        component's state will change without external input, or ``None``
+        if it will not."""
+        ...
+
+
+@runtime_checkable
+class MeshObserver(Protocol):
+    """Callback interface the kernel registers on the mesh so message
+    deliveries (data, ACKs and NACKs alike) reactivate their destination
+    node."""
+
+    def message_delivered(self, node_id: int, cycle: int) -> None:
+        """A message was just delivered to *node_id* at *cycle*."""
+        ...

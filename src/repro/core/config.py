@@ -167,6 +167,23 @@ class RuntimeConfig:
 
 
 @dataclass
+class SimConfig:
+    """Host-side simulation-kernel configuration.
+
+    This selects how the simulator spends *host* time; it has no
+    architectural effect -- both kernels produce identical cycle counts and
+    statistics (enforced by ``tests/integration/test_kernel_equivalence.py``).
+    """
+
+    #: ``"event"`` -- the activity-tracked, cycle-skipping kernel of
+    #: :mod:`repro.core.scheduler` (default): idle nodes are not ticked and
+    #: the clock jumps over globally-idle spans, so host cost is O(work).
+    #: ``"naive"`` -- the reference loop: tick every node every cycle,
+    #: O(cycles x nodes); kept for differential testing.
+    kernel: str = "event"
+
+
+@dataclass
 class MachineConfig:
     """Top-level configuration of an M-Machine."""
 
@@ -175,6 +192,7 @@ class MachineConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     node: NodeConfig = field(default_factory=NodeConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
     #: Collect a detailed trace (required by the Figure 9 timeline analysis;
     #: cheap enough to leave on by default).
     trace_enabled: bool = True
@@ -192,6 +210,7 @@ class MachineConfig:
             network=overrides.get("network", replace(self.network)),
             node=overrides.get("node", replace(self.node)),
             runtime=overrides.get("runtime", replace(self.runtime)),
+            sim=overrides.get("sim", replace(self.sim)),
             trace_enabled=overrides.get("trace_enabled", self.trace_enabled),
         )
 
@@ -226,3 +245,5 @@ class MachineConfig:
             raise ValueError(f"unknown shared-memory mode {self.runtime.shared_memory_mode!r}")
         if self.cluster.issue_policy not in ("event-priority", "round-robin", "hep"):
             raise ValueError(f"unknown issue policy {self.cluster.issue_policy!r}")
+        if self.sim.kernel not in ("event", "naive"):
+            raise ValueError(f"unknown simulation kernel {self.sim.kernel!r}")

@@ -4,6 +4,13 @@
 :class:`~repro.core.config.MachineConfig`, provides the address-space and
 thread-loading API used by examples, tests and benchmarks, installs the
 software runtime (Section 4.2/4.3 handlers) and drives the global clock.
+
+Two clock drivers are available, selected by ``MachineConfig.sim.kernel``:
+the **event kernel** (default, :mod:`repro.core.scheduler`) tracks which
+nodes can make progress and skips everything else, and the **naive loop**
+(the reference implementation kept inline below) ticks every node every
+cycle.  Both produce identical cycle counts and statistics; the naive loop
+is retained for differential testing.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MachineConfig
+from repro.core.scheduler import SimulationKernel
 from repro.core.stats import MachineStats
 from repro.core.trace import Tracer
 from repro.isa.assembler import assemble
@@ -56,6 +64,11 @@ class MMachine:
             from repro.runtime import install_runtime as _install
 
             self.runtime = _install(self)
+        #: The event-driven clock driver, or None when the reference loop is
+        #: selected (``config.sim.kernel == "naive"``).
+        self.kernel: Optional[SimulationKernel] = None
+        if self.config.sim.kernel == "event":
+            self.kernel = SimulationKernel(self)
 
     # ------------------------------------------------------------------ topology
 
@@ -103,7 +116,6 @@ class MMachine:
             page_size_words=self.page_size,
         )
         self.gdt.add(entry)
-        shape = self.config.network.mesh_shape
         for node in self.nodes:
             pages = entry.pages_on_node(node.coords)
             for page in pages:
@@ -202,6 +214,8 @@ class MMachine:
     def step(self) -> int:
         """Advance the whole machine by one cycle; returns the number of
         instructions issued across all nodes."""
+        if self.kernel is not None:
+            return self.kernel.step()
         cycle = self.cycle
         self.mesh.tick(cycle)
         issued = 0
@@ -213,6 +227,8 @@ class MMachine:
     def run(self, max_cycles: int, until: Optional[Callable[["MMachine"], bool]] = None) -> int:
         """Run for at most *max_cycles* more cycles, stopping early when
         *until* (if given) returns True.  Returns the cycle count reached."""
+        if self.kernel is not None:
+            return self.kernel.run(max_cycles, until)
         limit = self.cycle + max_cycles
         while self.cycle < limit:
             self.step()
@@ -222,6 +238,8 @@ class MMachine:
 
     def run_until(self, predicate: Callable[["MMachine"], bool], max_cycles: int = 100_000) -> int:
         """Run until *predicate* holds; raises TimeoutError if it never does."""
+        if self.kernel is not None:
+            return self.kernel.run_until(predicate, max_cycles)
         limit = self.cycle + max_cycles
         while self.cycle < limit:
             self.step()
@@ -234,6 +252,8 @@ class MMachine:
     def run_until_quiescent(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until nothing has issued and nothing is in flight anywhere for
         *settle_cycles* consecutive cycles."""
+        if self.kernel is not None:
+            return self.kernel.run_until_quiescent(max_cycles, settle_cycles)
         limit = self.cycle + max_cycles
         quiet = 0
         while self.cycle < limit:
@@ -251,6 +271,8 @@ class MMachine:
     def run_until_user_done(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until every user H-Thread has halted and the machine is
         otherwise quiescent (handlers drained, network idle)."""
+        if self.kernel is not None:
+            return self.kernel.run_until_user_done(max_cycles, settle_cycles)
         limit = self.cycle + max_cycles
         quiet = 0
         while self.cycle < limit:
@@ -272,6 +294,10 @@ class MMachine:
     # ------------------------------------------------------------------ statistics
 
     def stats(self) -> MachineStats:
+        if self.kernel is not None:
+            # Settle the kernel's lazy idle accounting so sleeping nodes
+            # report exactly the counters the naive loop would have.
+            self.kernel.sync()
         return MachineStats(cycles=self.cycle, node_stats=[node.stats() for node in self.nodes])
 
     def __repr__(self) -> str:

@@ -1,0 +1,350 @@
+"""The event-driven simulation kernel.
+
+The naive loop in :class:`~repro.core.machine.MMachine` costs
+``O(cycles x nodes)`` host time: every node, cluster, memory system and
+handler is ticked on every cycle even when a whole node is idle waiting for
+a remote reply.  This kernel makes the same simulation cost ``O(work)``:
+
+* **Activity ledger.**  Every node is either *awake* (ticked each cycle,
+  exactly like the naive loop) or *asleep*.  A node is put to sleep only
+  when a real tick proves there is nothing it can do: it issued nothing, no
+  cluster has a ready instruction, and no internal machinery (switch
+  transfers, writebacks, memory pipeline, event formatting, native
+  handlers, retransmissions) has work due on the next cycle.
+
+* **Scheduled wakeups.**  A sleeping node with *future-dated* internal work
+  (a memory response completing at cycle ``t``, a handler busy until ``t``,
+  a NACK retransmission backed off until ``t``, ...) declares the earliest
+  such cycle through the :class:`~repro.core.component.SimComponent`
+  protocol and is woken exactly then.  Mesh deliveries -- the only way one
+  node can affect another -- wake the destination node via the
+  :class:`~repro.core.component.MeshObserver` hook.
+
+* **Cycle skipping.**  When every node is asleep, the clock jumps straight
+  to the next scheduled wakeup or mesh delivery instead of stepping one
+  cycle at a time.
+
+Equivalence with the naive loop is bit-exact, including statistics: the
+naive loop's issue stage accrues ``idle_cycles`` / ``no_ready_cycles`` /
+per-thread stall counters / I-cache fetch counts on every blocked cycle.
+Because a sleeping node's state is frozen, those per-cycle increments are a
+pure function of the state at sleep time; the kernel captures that *idle
+profile* once (:meth:`~repro.node.node.Node.idle_issue_profile`) and
+applies it in bulk (:meth:`~repro.node.node.Node.account_idle_cycles`)
+when the node is woken or when statistics are read.  The differential test
+``tests/integration/test_kernel_equivalence.py`` pins this down for every
+workload class.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class SimulationKernel:
+    """Activity-tracked, cycle-skipping scheduler for one
+    :class:`~repro.core.machine.MMachine`."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.mesh = machine.mesh
+        self.nodes = machine.nodes
+        num_nodes = len(self.nodes)
+
+        #: Per-node sleep flag; every node starts awake.
+        self._asleep: List[bool] = [False] * num_nodes
+        self._num_asleep = 0
+        #: First naive-loop tick a sleeping node has not yet been charged for.
+        self._idle_from: List[int] = [0] * num_nodes
+        #: Frozen issue-stage profile captured when the node went to sleep.
+        self._idle_profile: List[Optional[list]] = [None] * num_nodes
+        #: ``has_pending_work`` / ``user_threads_finished`` frozen at sleep
+        #: time (a sleeping node's state cannot change, so these are exact).
+        self._pending_flag: List[bool] = [False] * num_nodes
+        self._users_flag: List[bool] = [True] * num_nodes
+        #: Count of sleeping nodes with pending work / unfinished users, so
+        #: the run loops' busy checks cost O(awake) instead of O(nodes).
+        self._sleeping_pending = 0
+        self._sleeping_users_unfinished = 0
+        #: Min-heap of (cycle, node_id) scheduled wakeups.  Entries are never
+        #: removed eagerly; waking an already-awake node is a no-op and
+        #: waking a node early just costs one provably-idle tick.
+        self._wakeups: List[tuple] = []
+
+        self.mesh.attach_observer(self)
+
+        # Diagnostics (reported by benchmarks; no architectural effect).
+        self.node_ticks = 0
+        self.cycles_skipped = 0
+
+    # ------------------------------------------------------------- mesh observer
+
+    def message_delivered(self, node_id: int, cycle: int) -> None:
+        """MeshObserver hook: any delivery (data, ACK or NACK) can unblock
+        the destination node."""
+        if self._asleep[node_id]:
+            self._wake(node_id, cycle)
+
+    # ------------------------------------------------------------ sleep bookkeeping
+
+    def _flush_idle(self, node_id: int, upto_cycle: int) -> None:
+        """Charge a sleeping node the per-cycle issue-stage statistics the
+        naive loop would have accrued for ticks ``[idle_from, upto_cycle)``."""
+        start = self._idle_from[node_id]
+        delta = upto_cycle - start
+        if delta <= 0:
+            return
+        self.nodes[node_id].account_idle_cycles(self._idle_profile[node_id], start, delta)
+        self._idle_from[node_id] = upto_cycle
+        self.cycles_skipped += delta
+
+    def _wake(self, node_id: int, cycle: int) -> None:
+        self._flush_idle(node_id, cycle)
+        self._asleep[node_id] = False
+        self._num_asleep -= 1
+        self._idle_profile[node_id] = None
+        if self._pending_flag[node_id]:
+            self._pending_flag[node_id] = False
+            self._sleeping_pending -= 1
+        if not self._users_flag[node_id]:
+            self._users_flag[node_id] = True
+            self._sleeping_users_unfinished -= 1
+
+    def _maybe_sleep(self, node, cycle: int) -> None:
+        """Called after a tick that issued nothing: put the node to sleep if
+        the tick proved it has nothing to do before its next known event."""
+        next_event = node.next_event_cycle(cycle)
+        if next_event is not None and next_event <= cycle + 1:
+            return  # work is due immediately; keep ticking
+        profile = node.idle_issue_profile()
+        if profile is None:
+            return  # some cluster can issue (or halt a thread) next cycle
+        node_id = node.node_id
+        self._asleep[node_id] = True
+        self._num_asleep += 1
+        self._idle_from[node_id] = cycle + 1
+        self._idle_profile[node_id] = profile
+        pending = node.has_pending_work
+        self._pending_flag[node_id] = pending
+        if pending:
+            self._sleeping_pending += 1
+        users_finished = node.user_threads_finished
+        self._users_flag[node_id] = users_finished
+        if not users_finished:
+            self._sleeping_users_unfinished += 1
+        if next_event is not None:
+            heapq.heappush(self._wakeups, (next_event, node_id))
+
+    def wake_all(self) -> None:
+        """Reactivate every node (used at the start of every public run so
+        that loader/test mutations made while nodes slept take effect)."""
+        if self._num_asleep == 0:
+            return
+        cycle = self.machine.cycle
+        for node_id in range(len(self.nodes)):
+            if self._asleep[node_id]:
+                self._wake(node_id, cycle)
+
+    def sync(self) -> None:
+        """Flush the lazy idle accounting of all sleeping nodes so external
+        observers (``machine.stats()``, tests poking at clusters) see exactly
+        the counters the naive loop would have produced.  Idempotent; leaves
+        nodes asleep."""
+        cycle = self.machine.cycle
+        for node_id in range(len(self.nodes)):
+            if self._asleep[node_id]:
+                self._flush_idle(node_id, cycle)
+
+    # ------------------------------------------------------------------ stepping
+
+    def step(self) -> int:
+        """Public single-step: equivalent to the naive ``MMachine.step``.
+
+        External code may have mutated the machine (loaded threads, written
+        memory) since the last step, so every node is conservatively woken;
+        run loops use :meth:`_step` directly and rely on wakeups instead."""
+        self.wake_all()
+        return self._step()
+
+    def _step(self) -> int:
+        """Advance one cycle, ticking only awake nodes."""
+        machine = self.machine
+        cycle = machine.cycle
+        wakeups = self._wakeups
+        while wakeups and wakeups[0][0] <= cycle:
+            _, node_id = heapq.heappop(wakeups)
+            if self._asleep[node_id]:
+                self._wake(node_id, cycle)
+        mesh = self.mesh
+        if mesh.busy:
+            # Deliveries wake their destination nodes via message_delivered.
+            mesh.tick(cycle)
+        issued = 0
+        asleep = self._asleep
+        for node in self.nodes:
+            if asleep[node.node_id]:
+                continue
+            node_issued = node.tick(cycle)
+            self.node_ticks += 1
+            issued += node_issued
+            if node_issued == 0:
+                self._maybe_sleep(node, cycle)
+        machine.cycle = cycle + 1
+        return issued
+
+    # ----------------------------------------------------------- frozen-span logic
+
+    def _next_event(self) -> Optional[int]:
+        """The next cycle at which anything in the machine can happen while
+        every node is asleep: a scheduled wakeup or a mesh delivery."""
+        next_cycle = self._wakeups[0][0] if self._wakeups else None
+        delivery = self.mesh.next_delivery_cycle()
+        if delivery is not None and (next_cycle is None or delivery < next_cycle):
+            next_cycle = delivery
+        return next_cycle
+
+    def _machine_busy(self, issued: int) -> bool:
+        """The naive loops' quiescence predicate, with sleeping nodes served
+        from their frozen flags."""
+        if issued > 0 or self.mesh.busy or self._sleeping_pending > 0:
+            return True
+        asleep = self._asleep
+        return any(node.has_pending_work for node in self.nodes if not asleep[node.node_id])
+
+    def _users_done(self) -> bool:
+        if self._sleeping_users_unfinished > 0:
+            return False
+        asleep = self._asleep
+        return all(node.user_threads_finished for node in self.nodes
+                   if not asleep[node.node_id])
+
+    # ------------------------------------------------------------------ run loops
+    #
+    # Each loop mirrors the corresponding naive MMachine loop cycle for
+    # cycle.  Whenever every node is asleep and nothing is due at the
+    # current cycle the machine state is frozen, so the loop's predicates
+    # are constant and the outcome of stepping through the span can be
+    # computed in closed form -- the clock jumps instead.
+
+    def run(self, max_cycles: int, until: Optional[Callable] = None) -> int:
+        machine = self.machine
+        self.wake_all()
+        limit = machine.cycle + max_cycles
+        num_nodes = len(self.nodes)
+        while machine.cycle < limit:
+            if until is None and self._num_asleep == num_nodes:
+                cycle = machine.cycle
+                next_event = self._next_event()
+                if next_event is None or next_event > cycle:
+                    machine.cycle = min(next_event, limit) if next_event is not None else limit
+                    continue
+            self._step()
+            # *until* may be cycle-dependent, so spans are never skipped
+            # past it: with a predicate the loop steps every cycle (each
+            # step is O(awake nodes), zero when all are asleep).  The lazy
+            # idle accounting is settled first so a predicate reading
+            # statistics of a sleeping node sees the naive loop's counters.
+            if until is not None:
+                if self._num_asleep:
+                    self.sync()
+                if until(machine):
+                    break
+        self.sync()
+        return machine.cycle
+
+    def run_until(self, predicate: Callable, max_cycles: int = 100_000) -> int:
+        machine = self.machine
+        self.wake_all()
+        limit = machine.cycle + max_cycles
+        while machine.cycle < limit:
+            self._step()
+            if self._num_asleep:
+                # Settle lazy idle accounting so predicates that read node
+                # statistics (not just architectural state) match the naive
+                # loop cycle for cycle.
+                self.sync()
+            if predicate(machine):
+                return machine.cycle
+        raise TimeoutError(
+            f"condition not reached within {max_cycles} cycles (cycle {machine.cycle})"
+        )
+
+    def run_until_quiescent(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
+        machine = self.machine
+        self.wake_all()
+        limit = machine.cycle + max_cycles
+        num_nodes = len(self.nodes)
+        quiet = 0
+        while machine.cycle < limit:
+            cycle = machine.cycle
+            if self._num_asleep == num_nodes:
+                next_event = self._next_event()
+                if next_event is None or next_event > cycle:
+                    horizon = min(next_event, limit) if next_event is not None else limit
+                    if self.mesh.busy or self._sleeping_pending > 0:
+                        quiet = 0
+                        machine.cycle = horizon
+                    else:
+                        target = cycle + (settle_cycles - quiet)
+                        if target <= horizon:
+                            machine.cycle = target
+                            self.sync()
+                            return machine.cycle
+                        quiet += horizon - cycle
+                        machine.cycle = horizon
+                    continue
+            issued = self._step()
+            quiet = 0 if self._machine_busy(issued) else quiet + 1
+            if quiet >= settle_cycles:
+                self.sync()
+                return machine.cycle
+        self.sync()
+        raise TimeoutError(f"machine did not quiesce within {max_cycles} cycles")
+
+    def run_until_user_done(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
+        machine = self.machine
+        self.wake_all()
+        limit = machine.cycle + max_cycles
+        num_nodes = len(self.nodes)
+        quiet = 0
+        while machine.cycle < limit:
+            cycle = machine.cycle
+            if self._num_asleep == num_nodes:
+                next_event = self._next_event()
+                if next_event is None or next_event > cycle:
+                    horizon = min(next_event, limit) if next_event is not None else limit
+                    busy = self.mesh.busy or self._sleeping_pending > 0
+                    if self._sleeping_users_unfinished == 0 and not busy:
+                        target = cycle + (settle_cycles - quiet)
+                        if target <= horizon:
+                            machine.cycle = target
+                            self.sync()
+                            return machine.cycle
+                        quiet += horizon - cycle
+                    else:
+                        quiet = 0
+                    machine.cycle = horizon
+                    continue
+            issued = self._step()
+            if self._users_done() and not self._machine_busy(issued):
+                quiet += 1
+            else:
+                quiet = 0
+            if quiet >= settle_cycles:
+                self.sync()
+                return machine.cycle
+        self.sync()
+        raise TimeoutError(f"user threads did not finish within {max_cycles} cycles")
+
+    # ---------------------------------------------------------------- diagnostics
+
+    @property
+    def awake_nodes(self) -> int:
+        return len(self.nodes) - self._num_asleep
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationKernel({len(self.nodes)} nodes, {self.awake_nodes} awake, "
+            f"{self.cycles_skipped} node-cycles skipped)"
+        )

@@ -24,6 +24,16 @@ class QueueOverflowError(Exception):
     not check :meth:`HardwareQueue.can_accept` first."""
 
 
+class QueueUnderflowError(QueueOverflowError):
+    """Raised when popping from an empty queue (or popping a record that is
+    only partially present).
+
+    Subclasses :class:`QueueOverflowError` for backward compatibility:
+    historical code raised the overflow error for both directions, so
+    ``except QueueOverflowError`` continues to catch underflows too.
+    """
+
+
 class HardwareQueue:
     """A bounded FIFO of 64-bit words with occupancy statistics."""
 
@@ -73,7 +83,7 @@ class HardwareQueue:
 
     def pop_word(self) -> int:
         if not self._words:
-            raise QueueOverflowError(f"pop from empty queue {self.name!r}")
+            raise QueueUnderflowError(f"pop from empty queue {self.name!r}")
         self.total_popped += 1
         return self._words.popleft()
 
@@ -127,9 +137,9 @@ class EventQueue(HardwareQueue):
         from repro.events.records import EVENT_RECORD_WORDS
 
         if not self._records:
-            raise QueueOverflowError(f"pop_record from empty queue {self.name!r}")
+            raise QueueUnderflowError(f"pop_record from empty queue {self.name!r}")
         if self._head_offset != 0:
-            raise QueueOverflowError(
+            raise QueueUnderflowError(
                 f"pop_record from {self.name!r} while a record is partially consumed"
             )
         record = self._records.popleft()

@@ -552,3 +552,22 @@ class MemorySystem:
             or bool(self._mif_queue)
             or bool(self._pending)
         )
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """SimComponent contract: the earliest cycle after *cycle* at which a
+        tick would do real work -- a bank servicing its head request, the
+        external memory interface coming free for its head request, or a
+        pending response completing.  None when the memory system is empty."""
+        candidates = []
+        for queue in self._bank_queues:
+            if queue:
+                candidates.append(queue[0][0])
+        if self._mif_queue:
+            candidates.append(max(self._mif_queue[0][0], self._mif_busy_until + 1))
+        if self._pending:
+            candidates.append(min(pending.ready_cycle for pending in self._pending))
+        if not candidates:
+            return None
+        # Banks and the MIF service one request per tick, so work that was
+        # due in the past is due again on the very next cycle.
+        return max(min(candidates), cycle + 1)

@@ -230,6 +230,13 @@ class NetworkInterface:
     def busy(self) -> bool:
         return bool(self._retransmit)
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """SimComponent contract: the earliest retransmission back-off
+        expiry, or None when nothing awaits retransmission."""
+        if not self._retransmit:
+            return None
+        return min(retry_cycle for retry_cycle, _ in self._retransmit)
+
     @property
     def credits_in_use(self) -> int:
         return self.config.send_credits - self.credits

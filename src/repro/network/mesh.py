@@ -57,6 +57,9 @@ class MeshNetwork:
         self._link_free: Dict[Tuple[int, int], int] = {}
         #: Delivery callbacks per node, installed by the machine.
         self._delivery: Dict[int, Callable[[Message, int], None]] = {}
+        #: Optional :class:`~repro.core.component.MeshObserver` (the event
+        #: kernel), told about every delivery so it can wake the target node.
+        self._observer = None
         # Statistics
         self.messages_injected = 0
         self.messages_delivered = 0
@@ -74,6 +77,11 @@ class MeshNetwork:
     def attach(self, node_id: int, deliver: Callable[[Message, int], None]) -> None:
         """Register the delivery callback of a node's network input interface."""
         self._delivery[node_id] = deliver
+
+    def attach_observer(self, observer) -> None:
+        """Register a :class:`~repro.core.component.MeshObserver` notified of
+        every message delivery (data, ACK and NACK alike)."""
+        self._observer = observer
 
     # -- routing -----------------------------------------------------------------
 
@@ -135,6 +143,8 @@ class MeshNetwork:
                 self.messages_delivered += 1
                 self.total_latency += flight.deliver_cycle - flight.message.send_cycle
                 deliver(flight.message, cycle)
+                if self._observer is not None:
+                    self._observer.message_delivered(flight.message.dest_node, cycle)
             else:
                 remaining.append(flight)
         self._in_flight = remaining
@@ -148,6 +158,14 @@ class MeshNetwork:
     @property
     def busy(self) -> bool:
         return bool(self._in_flight)
+
+    def next_delivery_cycle(self) -> Optional[int]:
+        """Earliest delivery cycle of an in-flight message, or None.  Used by
+        the event kernel to jump the clock over spans where the only activity
+        anywhere is messages streaming through the mesh."""
+        if not self._in_flight:
+            return None
+        return min(flight.deliver_cycle for flight in self._in_flight)
 
     @property
     def average_latency(self) -> float:

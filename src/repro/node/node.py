@@ -434,7 +434,9 @@ class Node:
     @property
     def has_pending_work(self) -> bool:
         """True when anything inside the node is still in flight (used by the
-        machine's quiescence detector together with issue counts)."""
+        machine's quiescence detector together with issue counts).  Every
+        native handler exposes an explicit ``busy`` property
+        (:class:`~repro.runtime.native.NativeHandler`)."""
         return (
             self.memory.busy
             or bool(self._pending_events)
@@ -444,8 +446,69 @@ class Node:
             or not self.event_queue_sync.is_empty
             or not self.event_queue_ltlb.is_empty
             or self.net.busy
-            or any(handler.busy for handler in self.native_handlers if hasattr(handler, "busy"))
+            or any(handler.busy for handler in self.native_handlers)
         )
+
+    # ------------------------------------------------------- kernel scheduling
+    #
+    # The three methods below are the node's half of the event-kernel
+    # contract (see repro.core.component): when a tick issues nothing, the
+    # kernel asks when the node's internal machinery next does anything by
+    # itself (next_event_cycle), whether the issue stage could make progress
+    # (idle_issue_profile returning None), and -- once the node has slept --
+    # how to replay the per-cycle idle statistics of the naive loop in bulk
+    # (account_idle_cycles).
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle after *cycle* at which this node's state changes
+        without external input (a mesh delivery), or None if it never will."""
+        candidates = []
+        ready = self.cswitch.next_ready_cycle()
+        if ready is not None:
+            candidates.append(ready)
+        for cluster in self.clusters:
+            due = cluster.next_writeback_cycle()
+            if due is not None:
+                candidates.append(due)
+        if self._pending_events:
+            candidates.append(min(at_cycle for at_cycle, _ in self._pending_events))
+        due = self.memory.next_event_cycle(cycle)
+        if due is not None:
+            candidates.append(due)
+        for handler in self.native_handlers:
+            due = handler.next_event_cycle(cycle)
+            if due is not None:
+                candidates.append(due)
+        due = self.net.next_event_cycle(cycle)
+        if due is not None:
+            candidates.append(due)
+        if not candidates:
+            return None
+        # Work that was due in the past but rationed by per-cycle bandwidth
+        # limits (switch budgets, one bank service per cycle) is due again on
+        # the very next cycle.
+        return max(min(candidates), cycle + 1)
+
+    def idle_issue_profile(self):
+        """One frozen issue-stage profile per cluster, or None if any cluster
+        could make progress next cycle (in which case the node must stay
+        awake)."""
+        profiles = []
+        for cluster in self.clusters:
+            profile = cluster.idle_profile()
+            if profile is None:
+                return None
+            profiles.append(profile)
+        return profiles
+
+    def account_idle_cycles(self, profiles, start_cycle: int, num_cycles: int) -> None:
+        """Replay the statistics of *num_cycles* naive no-op ticks at once
+        (the node slept through them; its state is provably unchanged)."""
+        for cluster, profile in zip(self.clusters, profiles):
+            cluster.account_idle_cycles(profile, start_cycle, num_cycles)
+        # The C-Switch arbitration pointer rotates every cycle, traffic or not.
+        self.cswitch.advance_idle(num_cycles)
+        self.instructions_last_cycle = 0
 
     @property
     def user_threads_finished(self) -> bool:

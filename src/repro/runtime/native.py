@@ -36,10 +36,37 @@ class NativeHandler:
         self.cycles_busy = 0
 
     # -- framework -----------------------------------------------------------------
+    #
+    # Every handler exposes three things to the node and the event kernel:
+    #
+    # ``busy``             -- True while the handler holds deferred work that
+    #                         is not visible in any hardware queue (part of
+    #                         the node's quiescence predicate);
+    # ``has_queued_work``  -- True when the bound hardware queue would make
+    #                         the next ``poll`` do something;
+    # ``next_event_cycle`` -- SimComponent contract: the next cycle a tick of
+    #                         this handler can have an effect, or None.
+    #
+    # Handlers that buffer their own future work (like the synchronizing-
+    # fault retry handler) must override ``busy`` and ``next_event_cycle``;
+    # a handler whose ``tick`` does per-cycle work the kernel cannot see
+    # would violate the contract in :mod:`repro.core.component`.
 
     @property
     def busy(self) -> bool:
+        """True while the handler holds work outside its hardware queue."""
         return False
+
+    def has_queued_work(self) -> bool:
+        """True when the bound hardware queue has something to consume."""
+        return False
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if self.has_queued_work():
+            # Queued items are consumed as soon as the busy charge of the
+            # previous invocation has been paid.
+            return max(self.busy_until, cycle + 1)
+        return None
 
     def tick(self, node, cycle: int) -> None:
         if cycle < self.busy_until:
@@ -74,6 +101,9 @@ class EventNativeHandler(NativeHandler):
         super().__init__(node, runtime_config, name)
         self.queue = queue
 
+    def has_queued_work(self) -> bool:
+        return self.queue.pending_records > 0
+
     def poll(self, cycle: int) -> int:
         if self.queue.pending_records == 0:
             return 0
@@ -105,6 +135,11 @@ class MessageNativeHandler(NativeHandler):
         self.queue = queue
         self.body_lengths = body_lengths
         self.unknown_dips = 0
+
+    def has_queued_work(self) -> bool:
+        # A partially-streamed message keeps the node polling, exactly as the
+        # naive loop does, until the remaining words arrive.
+        return not self.queue.is_empty
 
     def poll(self, cycle: int) -> int:
         if self.queue.is_empty:
@@ -151,6 +186,13 @@ class SyncStatusFaultHandler(EventNativeHandler):
     @property
     def busy(self) -> bool:
         return bool(self._deferred)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        queued = super().next_event_cycle(cycle)
+        if not self._deferred:
+            return queued
+        retry = min(at for at, _ in self._deferred)
+        return retry if queued is None else min(queued, retry)
 
     def tick(self, node, cycle: int) -> None:
         # Re-submit deferred (backed-off) retries whose time has come, then

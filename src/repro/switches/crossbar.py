@@ -130,6 +130,29 @@ class Crossbar:
         self.busiest_cycle_transfers = max(self.busiest_cycle_transfers, len(delivered))
         return delivered
 
+    # -- kernel scheduling ---------------------------------------------------------
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest ``ready_cycle`` of any queued transfer, or None when the
+        switch is empty (SimComponent contract; the caller clamps transfers
+        already ready but stalled by the per-cycle budget to the next cycle)."""
+        ready = None
+        for queue in self._queues.values():
+            for transfer in queue:
+                if ready is None or transfer.ready_cycle < ready:
+                    ready = transfer.ready_cycle
+        for transfer in self._broadcast_queue:
+            if ready is None or transfer.ready_cycle < ready:
+                ready = transfer.ready_cycle
+        return ready
+
+    def advance_idle(self, cycles: int) -> None:
+        """Replay the pointer rotation of *cycles* empty :meth:`deliver`
+        calls at once (the event kernel skips those calls wholesale; the
+        round-robin pointer advances every cycle regardless of traffic, so
+        arbitration after a sleep must match the naive loop exactly)."""
+        self._rr_pointer = (self._rr_pointer + cycles) % self.num_outputs
+
     # -- introspection -----------------------------------------------------------
 
     @property
