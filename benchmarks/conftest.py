@@ -8,11 +8,25 @@ the paper's published values, so running
 
 produces a paper-vs-measured report (EXPERIMENTS.md is written from the same
 numbers).
+
+The machine-driving benchmarks execute their scenarios through the shared
+workload factories (:mod:`repro.workloads.factories`) — the same code path
+``repro sweep paper-figures`` uses — so sweep results and pytest results
+report identical cycle counts.  Set ``REPRO_RECORD_DIR`` to a directory to
+additionally emit one schema-valid JSON record per benchmark run, mergeable
+with sweep output.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
+
+from repro.sweep.runner import record_from_metrics, store_record
+from repro.sweep.spec import RunSpec
+from repro.workloads import factories
 
 
 def report(title: str, lines) -> None:
@@ -22,6 +36,25 @@ def report(title: str, lines) -> None:
     print(f"\n{title}\n{banner}")
     for line in lines:
         print(line)
+
+
+def run_and_record(workload: str, **params):
+    """Run a workload factory; emit a sweep-schema record when recording.
+
+    This is the entry point the benchmark files use, so a pytest run and a
+    ``repro sweep`` run of the same (workload, params) execute the same code.
+    """
+    spec = RunSpec(workload=workload, params=params)
+    start = time.perf_counter()
+    metrics = factories.run_workload(workload, params)
+    elapsed = time.perf_counter() - start
+    record_dir = os.environ.get("REPRO_RECORD_DIR")
+    if record_dir:
+        record = record_from_metrics(
+            spec, metrics, elapsed, tags={"harness": "pytest-benchmarks"}
+        )
+        store_record(record, record_dir)
+    return metrics
 
 
 @pytest.fixture

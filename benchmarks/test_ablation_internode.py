@@ -12,39 +12,16 @@ A4: return-to-sender throttling (Section 4.1): a producer flooding a consumer
 
 import pytest
 
-from conftest import report
-from repro import MMachine, MachineConfig
+from conftest import report, run_and_record
 from repro.core.stats import format_table
-from repro.workloads.synthetic import remote_store_sender_program
 
-REGION = 0x40000
 REPEATS = 16
 
 
-def _repeated_remote_read_program(repeats=REPEATS):
-    return f"""
-        mov i3, #0
-        mov i5, #0
-loop:   ld i4, i1          ; read the same remote word
-        add i5, i5, i4
-        add i3, i3, #1
-        lt i6, i3, #{repeats}
-        br i6, loop
-        halt
-    """
-
-
 def _run_repeated_reads(mode):
-    config = MachineConfig.small(2, 1, 1)
-    config.runtime.shared_memory_mode = mode
-    machine = MMachine(config)
-    machine.map_on_node(1, REGION, num_pages=1)
-    machine.write_word(REGION, 3)
-    machine.load_hthread(0, 0, 0, _repeated_remote_read_program(),
-                         registers={"i1": REGION})
-    machine.run_until_user_done(max_cycles=200000)
-    assert machine.register_value(0, 0, 0, "i5") == 3 * REPEATS
-    return machine.cycle
+    metrics = run_and_record("remote-memory", mode=mode, repeats=REPEATS)
+    assert metrics["verified"]
+    return metrics["cycles"]
 
 
 def _caching_ablation():
@@ -52,48 +29,32 @@ def _caching_ablation():
 
 
 def _run_flood(send_credits, queue_words, messages=24):
-    config = MachineConfig.small(2, 1, 1)
-    config.network.send_credits = send_credits
-    config.network.message_queue_words = queue_words
-    config.network.retransmit_interval = 16
-    machine = MMachine(config)
-    machine.map_on_node(1, REGION, num_pages=1)
-    dip = machine.runtime.dip("remote_store")
-    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, messages))
-    machine.run_until_user_done(max_cycles=400000)
-    delivered = all(machine.read_word(REGION + i) != 0 for i in range(messages))
+    metrics = run_and_record(
+        "flood", send_credits=send_credits, queue_words=queue_words,
+        messages=messages,
+    )
     return {
-        "cycles": machine.cycle,
-        "delivered": delivered,
-        "nacks": machine.nodes[0].net.nacks_received,
-        "retransmissions": machine.nodes[0].net.retransmissions,
-        "max_queue_words": machine.nodes[1].msg_queue_p0.max_occupancy,
+        "cycles": metrics["cycles"],
+        "delivered": metrics["verified"],
+        "nacks": metrics["nacks"],
+        "retransmissions": metrics["retransmissions"],
+        "max_queue_words": metrics["max_queue_words"],
     }
 
 
 def _run_many_to_one_flood(queue_words, senders=3, messages_each=8):
     """Three producers on a 2x2 mesh flood one consumer; with a tiny consumer
     queue the bursts overflow it and exercise the NACK/retransmit path."""
-    from repro.workloads.synthetic import many_to_one_store_programs
-
-    config = MachineConfig.small(2, 2, 1)
-    config.network.message_queue_words = queue_words
-    config.network.retransmit_interval = 16
-    machine = MMachine(config)
-    machine.map_on_node(0, REGION, num_pages=1)
-    dip = machine.runtime.dip("remote_store")
-    programs = many_to_one_store_programs(senders, messages_each, REGION, dip)
-    for sender, program in programs.items():
-        machine.load_hthread(sender + 1, 0, 0, program)
-    machine.run_until_user_done(max_cycles=400000)
-    total = senders * messages_each
-    delivered = all(machine.read_word(REGION + i) != 0 for i in range(total))
+    metrics = run_and_record(
+        "many-to-one-flood", queue_words=queue_words, senders=senders,
+        messages_each=messages_each,
+    )
     return {
-        "cycles": machine.cycle,
-        "delivered": delivered,
-        "nacks": sum(node.net.nacks_received for node in machine.nodes),
-        "retransmissions": sum(node.net.retransmissions for node in machine.nodes),
-        "max_queue_words": machine.nodes[0].msg_queue_p0.max_occupancy,
+        "cycles": metrics["cycles"],
+        "delivered": metrics["verified"],
+        "nacks": metrics["nacks"],
+        "retransmissions": metrics["retransmissions"],
+        "max_queue_words": metrics["max_queue_words"],
     }
 
 

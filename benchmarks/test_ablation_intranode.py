@@ -11,29 +11,14 @@ A2: thread-selection policy (Section 3.4): the MAP's zero-cost interleaving
 
 import pytest
 
-from conftest import report
-from repro import MMachine, MachineConfig
+from conftest import report, run_and_record
 from repro.core.stats import format_table
-from repro.workloads.microbench import (
-    build_pointer_chain,
-    compute_loop_program,
-    dependent_load_chain_program,
-)
-
-HEAP = 0x10000
-CHAIN_LOADS = 24
 
 
 def _run_vthreads(num_threads):
-    machine = MMachine(MachineConfig.single_node())
-    machine.map_on_node(0, HEAP, num_pages=4)
-    for address, value in build_pointer_chain(32, HEAP, stride=16):
-        machine.write_word(address, value)
-    for slot in range(num_threads):
-        machine.load_hthread(0, slot, 0, dependent_load_chain_program(CHAIN_LOADS),
-                             registers={"i1": HEAP})
-    machine.run_until_user_done(max_cycles=100000)
-    return machine.cycle
+    metrics = run_and_record("vthread-interleave", num_threads=num_threads)
+    assert metrics["verified"]
+    return metrics["cycles"]
 
 
 def _vthread_sweep():
@@ -41,12 +26,9 @@ def _vthread_sweep():
 
 
 def _run_policy(policy, iterations=100):
-    config = MachineConfig.single_node()
-    config.cluster.issue_policy = policy
-    machine = MMachine(config)
-    machine.load_hthread(0, 0, 0, compute_loop_program(iterations))
-    machine.run_until_user_done(max_cycles=100000)
-    return machine.cycle
+    metrics = run_and_record("issue-policy", policy=policy, iterations=iterations)
+    assert metrics["verified"]
+    return metrics["cycles"]
 
 
 def _policy_sweep():

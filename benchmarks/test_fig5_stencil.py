@@ -10,28 +10,20 @@ memory latencies".
 
 import pytest
 
-from conftest import report
-from repro import MMachine, MachineConfig
+from conftest import report, run_and_record
 from repro.core.stats import format_table
-from repro.workloads.stencil import make_stencil_workload
-
-HEAP = 0x10000
 
 #: The paper's static depths (Figure 5 and the Section 3.1 text).
 PAPER_DEPTHS = {("7pt", 1): 12, ("7pt", 2): 8, ("27pt", 1): 36, ("27pt", 4): 17}
 
 
 def _run(kind, n_hthreads):
-    machine = MMachine(MachineConfig.single_node())
-    machine.map_on_node(0, HEAP, num_pages=16)
-    workload = make_stencil_workload(kind=kind, n_hthreads=n_hthreads)
-    workload.setup(machine)
-    machine.run_until_user_done(max_cycles=30000)
-    assert workload.verify(machine), "stencil result mismatch"
+    metrics = run_and_record("stencil", kind=kind, n_hthreads=n_hthreads)
+    assert metrics["verified"], "stencil result mismatch"
     return {
-        "static_depth": workload.max_static_depth,
-        "cycles": machine.cycle,
-        "operations": workload.total_operations,
+        "static_depth": metrics["static_depth"],
+        "cycles": metrics["cycles"],
+        "operations": metrics["workload_operations"],
     }
 
 

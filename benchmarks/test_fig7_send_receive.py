@@ -7,95 +7,41 @@ of such messages, and a user-level ping-pong built from two remote stores.
 
 import pytest
 
-from conftest import report
-from repro import MMachine, MachineConfig
+from conftest import report, run_and_record
 from repro.core.stats import format_table
-from repro.workloads.synthetic import remote_store_sender_program
-
-REGION = 0x40000
-
-
-def _machine():
-    machine = MMachine(MachineConfig.small(2, 1, 1))
-    machine.map_on_node(1, REGION, num_pages=1)
-    machine.map_on_node(0, REGION + 0x1000, num_pages=1)
-    return machine
 
 
 def _single_remote_store():
-    machine = _machine()
-    dip = machine.runtime.dip("remote_store")
-    machine.load_hthread(0, 0, 0, f"""
-        mov m0, #99
-        send i1, #{dip}, #1
-        halt
-    """, registers={"i1": REGION + 1})
-    machine.run_until_quiescent(max_cycles=5000)
-    send = machine.tracer.first("send", cluster=0)
-    complete = None
-    for event in machine.tracer.filter("store_complete", node=1):
-        if event.info.get("address") == REGION + 1:
-            complete = event
-            break
-    return machine, complete.cycle - send.cycle
+    metrics = run_and_record("remote-store-latency")
+    assert metrics["verified"]
+    return metrics["latency"]
 
 
 def _message_stream(count=64):
-    machine = _machine()
-    dip = machine.runtime.dip("remote_store")
-    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, count))
-    machine.run_until_user_done(max_cycles=200000)
-    return machine.cycle / count
+    metrics = run_and_record("message-stream", count=count)
+    assert metrics["verified"]
+    return metrics["cycles_per_message"]
 
 
 def _ping_pong(rounds=16):
     """Node 0 stores to a flag on node 1 and waits for node 1 to store back,
     'rounds' times, all through user-level SENDs."""
-    machine = _machine()
-    dip = machine.runtime.dip("remote_store")
-    ping, pong = REGION + 8, REGION + 0x1000 + 8
-    machine.write_word(ping, 0)
-    machine.write_word(pong, 0)
-    machine.load_hthread(0, 0, 0, f"""
-        mov i3, #0
-loop:   add i3, i3, #1
-        mov m0, i3
-        send i1, #{dip}, #1       ; ping
-wait:   ld i4, i2
-        lt i5, i4, i3
-        br i5, wait               ; spin until the pong for this round lands
-        lt i6, i3, #{rounds}
-        br i6, loop
-        halt
-    """, registers={"i1": ping, "i2": pong})
-    machine.load_hthread(1, 0, 0, f"""
-        mov i3, #0
-loop:   add i3, i3, #1
-wait:   ld i4, i2
-        lt i5, i4, i3
-        br i5, wait               ; wait for the ping
-        mov m0, i3
-        send i1, #{dip}, #1       ; pong
-        lt i6, i3, #{rounds}
-        br i6, loop
-        halt
-    """, registers={"i1": pong, "i2": ping})
-    machine.run_until_user_done(max_cycles=400000)
-    return machine.cycle / rounds
+    metrics = run_and_record("ping-pong", rounds=rounds)
+    assert metrics["verified"]
+    return metrics["cycles_per_round_trip"]
 
 
 @pytest.fixture(scope="module")
 def results():
-    _, latency = _single_remote_store()
     return {
-        "single_store_latency": latency,
+        "single_store_latency": _single_remote_store(),
         "stream_cycles_per_message": _message_stream(),
         "ping_pong_round_trip": _ping_pong(),
     }
 
 
 def test_fig7_send_receive(single_run_benchmark, results):
-    _, latency = single_run_benchmark(_single_remote_store)
+    latency = single_run_benchmark(_single_remote_store)
     rows = [
         ["SEND -> remote store complete (1-word body)", latency],
         ["pipelined message stream (cycles/message)",

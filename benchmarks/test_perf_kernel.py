@@ -18,8 +18,6 @@ issue's acceptance criteria (in practice the ratio is far higher).
 
 import time
 
-import pytest
-
 from conftest import report
 from repro import MMachine, MachineConfig
 

@@ -13,15 +13,22 @@ the LTLB-miss adder, remote read ~2x a local LTLB miss) are asserted below.
 
 import pytest
 
-from conftest import report
-from repro.analysis.latency import SCENARIOS, AccessLatencyHarness
+from conftest import report, run_and_record
+from repro.analysis.latency import SCENARIOS
 from repro.core.latency_model import PAPER_TABLE1
 from repro.core.stats import format_table
 
 
 def _measure_all():
-    harness = AccessLatencyHarness()
-    return harness.measure_all()
+    metrics = run_and_record("table1-access-times")
+    assert metrics["verified"]
+    return {
+        scenario: {
+            "read": metrics[f"{scenario}_read"],
+            "write": metrics[f"{scenario}_write"],
+        }
+        for scenario in SCENARIOS
+    }
 
 
 @pytest.fixture(scope="module")

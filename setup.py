@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-mmachine",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Cycle-level simulator reproducing 'The M-Machine Multicomputer' "
         "(Fillo, Keckler, Dally, Carter, Chang, Gurevich & Lee, MICRO-28 1995)"
@@ -30,6 +30,11 @@ setup(
     license="MIT",
     packages=find_packages(where="src"),
     package_dir={"": "src"},
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
     python_requires=">=3.8",
     install_requires=[],          # the simulator itself is pure stdlib
     extras_require={

@@ -43,7 +43,6 @@ _WARM_SLOT = 1
 def measure_load_latency(tracer: Tracer, node: int, slot: int, cluster: int,
                          register: str = "i5", since: int = 0) -> int:
     """Cycles from load issue to the destination register being written."""
-    issue = tracer.first("mem_issue", cluster=cluster, slot=slot, store=False)
     issue_event = None
     for event in tracer.filter("mem_issue", node=node, since=since):
         if (not event.info.get("store")) and event.info.get("cluster") == cluster \

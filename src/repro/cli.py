@@ -1,0 +1,244 @@
+"""The ``repro`` command-line interface.
+
+Subcommands:
+
+* ``repro list`` — available workloads and built-in sweep specs.
+* ``repro run WORKLOAD [--param k=v ...]`` — one workload, metrics as JSON.
+* ``repro sweep SPEC [--jobs N] [--results-dir D] [--force] [--dry-run]``
+  — expand a built-in spec (or ``--spec-file``) and fan the runs out over a
+  worker pool; completed runs found in the results directory are skipped.
+* ``repro validate RESULTS.json`` — schema-check a merged results file and
+  exit nonzero on invalid, missing or failed records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.sweep.runner import SweepRunner
+from repro.sweep.schema import validate_results
+from repro.sweep.spec import RunSpec, SweepSpec
+from repro.sweep.specs import builtin_spec_names, get_spec
+from repro.workloads import factories
+
+
+def parse_param(text: str) -> object:
+    """Parse one ``--param`` value: JSON when possible, else a string.
+
+    ``n_hthreads=4`` gives an int, ``mesh=[4,4,1]`` a list, ``kind=7pt`` the
+    literal string (``7pt`` is not valid JSON and falls through).
+    """
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise argparse.ArgumentTypeError(f"--param needs key=value, got {pair!r}")
+        params[key] = parse_param(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run and sweep M-Machine reproduction experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list workloads and built-in sweep specs")
+
+    run = subparsers.add_parser("run", help="run one workload and print its metrics")
+    run.add_argument("workload", help="workload name (see 'repro list')")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override one workload parameter (repeatable); values are "
+            "parsed as JSON when possible"
+        ),
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="expand a sweep spec and run it on a worker pool"
+    )
+    sweep.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help=f"built-in spec name ({', '.join(builtin_spec_names())})",
+    )
+    sweep.add_argument(
+        "--spec-file",
+        default=None,
+        help="load the spec from a JSON (or YAML, if PyYAML is installed) file",
+    )
+    sweep.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: run inline)",
+    )
+    sweep.add_argument(
+        "--results-dir",
+        default="sweep-results",
+        metavar="DIR",
+        help=(
+            "where per-run records and sweep-results.json go "
+            "(default: ./sweep-results)"
+        ),
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="re-run runs whose result files already exist",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded run ids without executing anything",
+    )
+
+    validate = subparsers.add_parser(
+        "validate", help="schema-check a merged sweep-results.json"
+    )
+    validate.add_argument("results", help="path to sweep-results.json")
+    validate.add_argument(
+        "--allow-failed",
+        action="store_true",
+        help="do not treat failed run records as validation errors",
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in factories.workload_names():
+        defaults = factories.workload_params(name)
+        rendered = ", ".join(f"{key}={value}" for key, value in defaults.items())
+        print(f"  {name}" + (f"  ({rendered})" if rendered else ""))
+    print("sweep specs:")
+    for name in builtin_spec_names():
+        spec = get_spec(name)
+        print(f"  {name}  ({len(spec.expand())} runs) - {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        params = parse_params(args.param)
+    except argparse.ArgumentTypeError as error:
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
+    spec = RunSpec(workload=args.workload, params=params)
+    try:
+        metrics = factories.run_workload(spec.workload, spec.params)
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"repro run: {message}", file=sys.stderr)
+        return 2
+    payload = {"run_id": spec.run_id, "metrics": metrics}
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if metrics.get("verified", True) else 1
+
+
+def _load_spec(args: argparse.Namespace) -> SweepSpec:
+    if (args.spec is None) == (args.spec_file is None):
+        raise ValueError("give exactly one of a built-in spec name or --spec-file")
+    if args.spec_file is not None:
+        return SweepSpec.from_file(args.spec_file)
+    return get_spec(args.spec)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _load_spec(args)
+    except (KeyError, ValueError, OSError) as error:
+        message = error.args[0] if error.args else error
+        print(f"repro sweep: {message}", file=sys.stderr)
+        return 2
+    problems = spec.validate(known_workloads=factories.workload_names())
+    if problems:
+        for problem in problems:
+            print(f"repro sweep: {problem}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        for run in spec.expand():
+            print(run.run_id)
+        return 0
+    try:
+        runner = SweepRunner(
+            results_dir=args.results_dir,
+            jobs=args.jobs,
+            force=args.force,
+        )
+        result = runner.run(spec)
+    except ValueError as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+    if result.failed:
+        for record in result.failed:
+            error_lines = str(record.get("error", "")).strip().splitlines() or ["?"]
+            print(
+                f"repro sweep: run {record['run_id']} failed: {error_lines[-1]}",
+                file=sys.stderr,
+            )
+        print(
+            f"repro sweep: {len(result.failed)} of {len(result.records)} runs "
+            f"failed; partial results in {result.results_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(result.results_path)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.results, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"repro validate: cannot read {args.results}: {error}", file=sys.stderr)
+        return 2
+    problems = validate_results(document, allow_failed=args.allow_failed)
+    if problems:
+        for problem in problems:
+            print(f"repro validate: {problem}", file=sys.stderr)
+        print(
+            f"repro validate: {args.results}: {len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    runs = document.get("runs", [])
+    print(f"{args.results}: valid ({len(runs)} records)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,14 +24,13 @@ Table 1 of the paper.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.functional_units import (
     ArithmeticFault,
     OperandError,
     evaluate_operation,
-    has_value_semantics,
 )
 from repro.cluster.hthread import HThreadContext, ThreadState
 from repro.cluster.icache import InstructionCache
@@ -44,7 +43,7 @@ from repro.core.config import (
 )
 from repro.events.records import EventRecord, EventType
 from repro.isa.instruction import Instruction
-from repro.isa.operations import LabelRef, Operation, SYNC_CONDITIONS, Unit
+from repro.isa.operations import LabelRef, Operation, SYNC_CONDITIONS
 from repro.isa.registers import RegFile, RegisterRef
 from repro.isa.program import Program
 from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError

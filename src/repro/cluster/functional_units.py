@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.isa.operations import Operation
-from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
+from repro.memory.guarded_pointer import GuardedPointer, PointerPermission
 
 
 class OperandError(Exception):

@@ -27,7 +27,7 @@ The paper does not fix the selection policy, so the simulator offers three:
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence
+from typing import List, Sequence
 
 from repro.core.config import ClusterConfig, EVENT_SLOT, EXCEPTION_SLOT
 

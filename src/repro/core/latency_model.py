@@ -21,7 +21,7 @@ authors' unpublished ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.config import MachineConfig

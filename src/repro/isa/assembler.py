@@ -30,13 +30,12 @@ paper.  Over-committing a slot is an assembly error.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.isa.instruction import Instruction
 from repro.isa.operations import (
     LabelRef,
     OPCODES,
-    Opcode,
     Operation,
     OpClass,
     Unit,

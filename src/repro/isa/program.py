@@ -10,7 +10,7 @@ counter is an instruction index).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.isa.instruction import Instruction
 

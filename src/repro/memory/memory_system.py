@@ -30,7 +30,7 @@ All latencies are expressed in MAP cycles and configured by
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.events.records import EventRecord, EventType
@@ -45,7 +45,7 @@ from repro.memory.page_table import (
     block_base,
     page_of,
 )
-from repro.memory.requests import MemOpKind, MemRequest, MemResponse
+from repro.memory.requests import MemRequest, MemResponse
 from repro.memory.sdram import Sdram
 
 

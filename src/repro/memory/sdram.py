@@ -18,8 +18,8 @@ Physical addresses are word addresses in ``[0, size_words)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 from repro.memory.secded import secded_decode, secded_encode
 

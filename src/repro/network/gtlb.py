@@ -19,7 +19,7 @@ interleavings the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 #: Bit widths of the packed GDT/GTLB entry (Figure 8).

@@ -16,7 +16,6 @@ buffers and retransmits them later (Section 4.1, "Throttling").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.core.config import NetworkConfig

@@ -12,7 +12,7 @@ Section 4.2 and contention when many messages share a link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import NetworkConfig

@@ -20,7 +20,7 @@ dependent instructions match the configured unit/switch latencies exactly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster, RegWrite
 from repro.core.config import (
@@ -50,7 +50,7 @@ from repro.memory.requests import MemRequest
 from repro.memory.sdram import Sdram, SdramTiming
 from repro.network.gtlb import GlobalDestinationTable, Gtlb
 from repro.network.interface import NetworkInterface
-from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
+from repro.network.mesh import MeshNetwork, coords_to_id
 from repro.network.message import Message
 from repro.switches.crossbar import BROADCAST, Crossbar
 

@@ -1,0 +1,276 @@
+"""Parallel, resumable execution of sweep specs.
+
+The runner expands a :class:`~repro.sweep.spec.SweepSpec` into run
+descriptors, fans them out over a ``multiprocessing`` pool (``jobs=1`` runs
+inline, which is also the path coverage measurement sees), writes one JSON
+record per run under ``<results_dir>/runs/``, and merges everything into
+``<results_dir>/sweep-results.json``.
+
+Resume: a run whose per-run record already exists, validates against the
+schema and has ``status == "ok"`` is *not* re-executed — its record is
+loaded from disk, the way a cached download is skipped by a build pipeline.
+Failed records are retried.  ``force=True`` re-runs everything.
+
+A worker failure (the workload raises) produces a ``status="failed"`` record
+with the traceback; the sweep keeps going, the merged manifest still lists
+every run, and :meth:`SweepRunner.run` reports the failure count so the CLI
+can exit nonzero while leaving a partial-results manifest behind.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sweep.schema import SCHEMA_VERSION, make_record, validate_record
+from repro.sweep.spec import RunSpec, SweepSpec
+from repro.workloads import factories
+
+RESULTS_FILENAME = "sweep-results.json"
+RUNS_DIRNAME = "runs"
+
+VERIFICATION_FAILED = "workload verification failed"
+
+
+def record_from_metrics(
+    spec: RunSpec,
+    metrics: Dict[str, object],
+    wall_seconds: float,
+    tags: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """The (schema-valid) record for a completed workload run.
+
+    Shared by the sweep runner and the pytest benchmark harness so that both
+    map ``verified`` to the record status the same way.
+    """
+    status = "ok" if metrics.get("verified", True) else "failed"
+    return make_record(
+        run_id=spec.run_id,
+        workload=spec.workload,
+        params=spec.params,
+        status=status,
+        metrics=metrics,
+        wall_seconds=wall_seconds,
+        error=None if status == "ok" else VERIFICATION_FAILED,
+        tags=tags if tags is not None else spec.tags,
+    )
+
+
+def store_record(record: Dict[str, object], directory: str) -> str:
+    """Write one record to ``<directory>/<run_id>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, str(record["run_id"]) + ".json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def execute_run(spec: RunSpec) -> Dict[str, object]:
+    """Execute one run in-process and return its (schema-valid) record.
+
+    Record construction is inside the try as well: a factory returning
+    schema-invalid metrics (e.g. a non-scalar value) yields a failed record
+    like any other workload error, not an aborted sweep.
+    """
+    start = time.perf_counter()
+    try:
+        metrics = factories.run_workload(spec.workload, spec.params)
+        return record_from_metrics(spec, metrics, time.perf_counter() - start)
+    except Exception:
+        return make_record(
+            run_id=spec.run_id,
+            workload=spec.workload,
+            params=spec.params,
+            status="failed",
+            metrics={},
+            wall_seconds=time.perf_counter() - start,
+            error=traceback.format_exc(limit=20),
+            tags=spec.tags,
+        )
+
+
+def _pool_worker(spec_dict: Dict[str, object]) -> Dict[str, object]:
+    """Top-level (picklable) pool entry point."""
+    return execute_run(RunSpec.from_dict(spec_dict))
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` invocation."""
+
+    spec_name: str
+    results_path: str
+    records: List[Dict[str, object]] = field(default_factory=list)
+    skipped: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def failed(self) -> List[Dict[str, object]]:
+        return [record for record in self.records if record["status"] == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class SweepRunner:
+    """Expand a spec, fan runs out over workers, merge the records."""
+
+    def __init__(
+        self,
+        results_dir: str,
+        jobs: int = 1,
+        force: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.results_dir = results_dir
+        self.jobs = jobs
+        self.force = force
+        self._log = log if log is not None else self._default_log
+
+    @staticmethod
+    def _default_log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    # -- per-run record files ----------------------------------------------------
+
+    def _run_path(self, run_id: str) -> str:
+        return os.path.join(self.results_dir, RUNS_DIRNAME, run_id + ".json")
+
+    def _load_completed(self, run_id: str) -> Optional[Dict[str, object]]:
+        """The existing record for *run_id*, if it is valid and ok."""
+        path = self._run_path(run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if validate_record(record) or record.get("status") != "ok":
+            return None
+        if record.get("run_id") != run_id:
+            return None
+        return record
+
+    def _store(self, record: Dict[str, object]) -> None:
+        store_record(record, os.path.join(self.results_dir, RUNS_DIRNAME))
+
+    # -- the sweep itself --------------------------------------------------------
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        started = time.perf_counter()
+        problems = spec.validate(known_workloads=factories.workload_names())
+        if problems:
+            raise ValueError("invalid sweep spec: " + "; ".join(problems))
+        runs = spec.expand()
+        os.makedirs(os.path.join(self.results_dir, RUNS_DIRNAME), exist_ok=True)
+
+        completed: Dict[str, Dict[str, object]] = {}
+        pending: List[RunSpec] = []
+        if self.force:
+            pending = list(runs)
+        else:
+            for run in runs:
+                record = self._load_completed(run.run_id)
+                if record is not None:
+                    completed[run.run_id] = record
+                else:
+                    pending.append(run)
+        total = len(runs)
+        self._log(
+            f"sweep {spec.name!r}: {total} runs "
+            f"({len(completed)} cached, {len(pending)} to execute, "
+            f"jobs={self.jobs})"
+        )
+
+        fresh = self._execute(pending, total_runs=total, already_done=len(completed))
+        for record in fresh:
+            completed[str(record["run_id"])] = record
+
+        records = [completed[run.run_id] for run in runs]
+        wall = time.perf_counter() - started
+        result = SweepResult(
+            spec_name=spec.name,
+            results_path=os.path.join(self.results_dir, RESULTS_FILENAME),
+            records=records,
+            skipped=total - len(pending),
+            executed=len(pending),
+            wall_seconds=wall,
+        )
+        self._write_manifest(spec, result)
+        simulated = sum(record["metrics"].get("cycles") or 0 for record in fresh)
+        throughput = f", {simulated / wall:,.0f} simulated cycles/s" if fresh and wall > 0 else ""
+        self._log(
+            f"sweep {spec.name!r}: {len(records)} records "
+            f"({len(result.failed)} failed, {result.skipped} reused) in {wall:.1f}s"
+            + throughput
+        )
+        return result
+
+    def _execute(
+        self,
+        pending: List[RunSpec],
+        total_runs: int,
+        already_done: int,
+    ) -> List[Dict[str, object]]:
+        if not pending:
+            return []
+        records: List[Dict[str, object]] = []
+        done = already_done
+
+        def note(record: Dict[str, object]) -> None:
+            # Persist immediately so an interrupted sweep resumes from the
+            # last completed run, not from the start.
+            self._store(record)
+            nonlocal done
+            done += 1
+            status = record["status"]
+            cycles = record["metrics"].get("cycles")
+            detail = f"cycles={cycles}" if cycles is not None else "analytic"
+            self._log(
+                f"[{done}/{total_runs}] {record['run_id']}: {status} "
+                f"({detail}, {record['wall_seconds']:.2f}s)"
+            )
+
+        if self.jobs == 1:
+            for spec in pending:
+                record = execute_run(spec)
+                note(record)
+                records.append(record)
+            return records
+
+        payloads = [spec.to_dict() for spec in pending]
+        with multiprocessing.Pool(processes=self.jobs) as pool:
+            for record in pool.imap_unordered(_pool_worker, payloads):
+                note(record)
+                records.append(record)
+        return records
+
+    def _write_manifest(self, spec: SweepSpec, result: SweepResult) -> None:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "expected_run_ids": [run.run_id for run in spec.expand()],
+            "jobs": self.jobs,
+            "wall_seconds": round(result.wall_seconds, 3),
+            "counts": {
+                "total": len(result.records),
+                "ok": len(result.records) - len(result.failed),
+                "failed": len(result.failed),
+                "reused": result.skipped,
+                "executed": result.executed,
+            },
+            "runs": result.records,
+        }
+        with open(result.results_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,137 @@
+"""Result-record schema for sweep runs.
+
+Every run — whether executed by ``repro sweep``, by a benchmark under
+pytest, or by hand — is recorded as one JSON object with the same shape, so
+results from different harnesses can be merged and compared.  Validation is
+hand-rolled (the simulator is pure stdlib); ``repro validate`` and the CI
+``sweep-smoke`` job both go through :func:`validate_results`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Bump when the record shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Fields every record must carry, with their accepted types.
+_REQUIRED_FIELDS = {
+    "schema_version": (int,),
+    "run_id": (str,),
+    "workload": (str,),
+    "params": (dict,),
+    "status": (str,),
+    "metrics": (dict,),
+    "wall_seconds": (int, float),
+}
+
+_STATUSES = ("ok", "failed")
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def make_record(
+    run_id: str,
+    workload: str,
+    params: Dict[str, object],
+    status: str,
+    metrics: Optional[Dict[str, object]] = None,
+    wall_seconds: float = 0.0,
+    error: Optional[str] = None,
+    tags: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """Build a schema-valid result record."""
+    record: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": run_id,
+        "workload": workload,
+        "params": dict(params),
+        "status": status,
+        "metrics": dict(metrics or {}),
+        "wall_seconds": round(float(wall_seconds), 6),
+    }
+    if error is not None:
+        record["error"] = error
+    if tags:
+        record["tags"] = dict(tags)
+    problems = validate_record(record)
+    if problems:
+        raise ValueError(f"constructed an invalid record: {problems}")
+    return record
+
+
+def validate_record(record: object) -> List[str]:
+    """Problems with one result record (empty list when valid)."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    problems = []
+    for name, types in _REQUIRED_FIELDS.items():
+        if name not in record:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(record[name], types) or isinstance(record[name], bool):
+            problems.append(f"field {name!r} has type {type(record[name]).__name__}")
+    if problems:
+        return problems
+    if record["schema_version"] != SCHEMA_VERSION:
+        problems.append(f"schema_version {record['schema_version']} != {SCHEMA_VERSION}")
+    if record["status"] not in _STATUSES:
+        problems.append(f"status {record['status']!r} not in {_STATUSES}")
+    if record["status"] == "failed" and "error" not in record:
+        problems.append("failed record carries no 'error' field")
+    if record["wall_seconds"] < 0:
+        problems.append("wall_seconds is negative")
+    for key, value in record["metrics"].items():
+        if not isinstance(value, _SCALAR_TYPES):
+            problems.append(f"metric {key!r} is not a JSON scalar ({type(value).__name__})")
+    if record["status"] == "ok":
+        metrics = record["metrics"]
+        if "verified" in metrics and metrics["verified"] is not True:
+            problems.append("ok record has verified != true")
+    return problems
+
+
+def validate_results(
+    document: object,
+    expected_run_ids: Optional[Sequence[str]] = None,
+    allow_failed: bool = False,
+) -> List[str]:
+    """Problems with a merged ``sweep-results.json`` document.
+
+    When *expected_run_ids* is given (or the document carries its own
+    ``expected_run_ids``), missing and unexpected records are reported too.
+    """
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not an object"]
+    problems = []
+    if document.get("schema_version") != SCHEMA_VERSION:
+        problems.append("document schema_version missing or unsupported")
+    runs = document.get("runs")
+    if not isinstance(runs, list):
+        return problems + ["document has no 'runs' list"]
+    seen = []
+    seen_set = set()
+    for index, record in enumerate(runs):
+        for problem in validate_record(record):
+            problems.append(f"runs[{index}]: {problem}")
+        if isinstance(record, dict):
+            if record.get("run_id") in seen_set:
+                problems.append(f"runs[{index}]: duplicate run_id {record['run_id']!r}")
+            seen.append(record.get("run_id"))
+            seen_set.add(record.get("run_id"))
+            if not allow_failed and record.get("status") == "failed":
+                problems.append(
+                    f"runs[{index}]: run {record.get('run_id')!r} failed: "
+                    f"{record.get('error', 'unknown error')!s:.200}"
+                )
+    if expected_run_ids is None:
+        expected = document.get("expected_run_ids")
+        expected_run_ids = expected if isinstance(expected, list) else None
+    if expected_run_ids is not None:
+        expected_set = set(expected_run_ids)
+        missing = [run_id for run_id in expected_run_ids if run_id not in seen_set]
+        unexpected = [run_id for run_id in seen if run_id not in expected_set]
+        for run_id in missing:
+            problems.append(f"missing record for run {run_id!r}")
+        for run_id in unexpected:
+            problems.append(f"unexpected record {run_id!r}")
+    return problems

@@ -23,8 +23,20 @@ from repro.workloads.microbench import (
     compute_loop_program,
 )
 from repro.workloads.synthetic import many_to_one_store_programs, uniform_traffic_programs
+from repro.workloads.factories import (
+    WORKLOADS,
+    register,
+    run_workload,
+    workload_names,
+    workload_params,
+)
 
 __all__ = [
+    "WORKLOADS",
+    "register",
+    "run_workload",
+    "workload_names",
+    "workload_params",
     "Grid3D",
     "StencilWorkload",
     "SEVEN_POINT_OFFSETS",

@@ -1,0 +1,655 @@
+"""Parameterised workload factories, reusable outside pytest.
+
+Every paper figure, table and ablation the ``benchmarks/`` suite regenerates
+is also expressible as a *named workload*: a plain function that builds a
+machine, runs a scenario, verifies the result and returns a flat metrics
+dict.  The benchmark tests and the ``repro sweep`` subsystem both call these
+factories, so a sweep run and the corresponding pytest run execute the exact
+same code path and therefore report the exact same cycle counts.
+
+Conventions:
+
+* Factories are registered under a kebab-case name with :func:`register`.
+* Every factory accepts only keyword arguments, all of which have defaults,
+  so ``run_workload(name)`` always works.
+* Factories that drive a whole machine accept ``mesh`` (an ``(x, y, z)``
+  tuple or list) and ``kernel`` (``"event"`` or ``"naive"``) so sweeps can
+  scale the mesh and compare simulation kernels.
+* The returned dict contains only JSON-serialisable scalars.  Machine-driving
+  factories report ``cycles`` (simulated cycles) and ``verified`` (the
+  workload's own correctness check); analytic factories (area model, GTLB
+  mapping, Table 1) report their own headline numbers.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.machine import MMachine
+
+WorkloadFactory = Callable[..., Dict[str, object]]
+
+#: Registry of workload name -> factory.
+WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+HEAP = 0x10000
+REGION = 0x40000
+
+
+def register(name: str) -> Callable[[WorkloadFactory], WorkloadFactory]:
+    """Register *factory* under *name* (decorator)."""
+
+    def wrap(factory: WorkloadFactory) -> WorkloadFactory:
+        if name in WORKLOADS:
+            raise ValueError(f"duplicate workload name {name!r}")
+        WORKLOADS[name] = factory
+        return factory
+
+    return wrap
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def workload_params(name: str) -> Dict[str, object]:
+    """Default parameters of workload *name* (its keyword defaults)."""
+    factory = WORKLOADS[name]
+    signature = inspect.signature(factory)
+    return {
+        param.name: param.default
+        for param in signature.parameters.values()
+        if param.default is not inspect.Parameter.empty
+    }
+
+
+def run_workload(name: str, params: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Run workload *name* with *params* and return its metrics dict."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; known: {', '.join(workload_names())}")
+    return WORKLOADS[name](**dict(params or {}))
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _machine(
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    shared_memory_mode: Optional[str] = None,
+    trace_enabled: Optional[bool] = None,
+    **config_overrides: object,
+) -> MMachine:
+    config = MachineConfig.small(*tuple(mesh))
+    config.sim.kernel = kernel
+    if shared_memory_mode is not None:
+        config.runtime.shared_memory_mode = shared_memory_mode
+    if trace_enabled is not None:
+        config.trace_enabled = trace_enabled
+    for key, value in config_overrides.items():
+        section, _, attr = key.partition(".")
+        setattr(getattr(config, section), attr, value)
+    return MMachine(config)
+
+
+def _far_node(machine: MMachine) -> int:
+    return machine.num_nodes - 1
+
+
+def _base_metrics(machine: MMachine) -> Dict[str, object]:
+    summary = machine.stats().summary()
+    return {
+        "cycles": machine.cycle,
+        "instructions": summary["instructions"],
+        "operations": summary["operations"],
+        "messages": summary["messages"],
+        "nodes": summary["nodes"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: stencil smoothing
+# ---------------------------------------------------------------------------
+
+
+@register("stencil")
+def stencil(
+    kind: str = "7pt",
+    n_hthreads: int = 1,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 30000,
+) -> Dict[str, object]:
+    """The Figure 5 stencil smoothing kernel on one node of a mesh."""
+    from repro.workloads.stencil import make_stencil_workload
+
+    machine = _machine(mesh, kernel)
+    machine.map_on_node(0, HEAP, num_pages=16)
+    workload = make_stencil_workload(kind=kind, n_hthreads=n_hthreads)
+    workload.setup(machine)
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=workload.verify(machine),
+        static_depth=workload.max_static_depth,
+        workload_operations=workload.total_operations,
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: CC-register synchronisation
+# ---------------------------------------------------------------------------
+
+
+@register("cc-sync")
+def cc_sync(
+    iterations: int = 50,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 100000,
+) -> Dict[str, object]:
+    """The two-H-Thread interlocked loop of Figure 6."""
+    from repro.workloads.microbench import cc_loop_sync_programs
+
+    machine = _machine(mesh, kernel)
+    machine.load_vthread(0, 0, cc_loop_sync_programs(iterations))
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=(
+            machine.register_value(0, 0, 0, "i2") == iterations
+            and machine.register_value(0, 0, 1, "i2") == iterations
+        ),
+        cycles_per_iteration=round(machine.cycle / iterations, 4),
+        memory_requests=machine.nodes[0].memory.requests_accepted,
+    )
+    return metrics
+
+
+@register("cc-barrier")
+def cc_barrier(
+    iterations: int = 50,
+    clusters: int = 4,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 400000,
+) -> Dict[str, object]:
+    """The 4-way CC-register barrier extension of Figure 6."""
+    from repro.workloads.microbench import cc_barrier_programs
+
+    machine = _machine(mesh, kernel)
+    machine.load_vthread(0, 0, cc_barrier_programs(iterations, clusters))
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(
+            machine.register_value(0, 0, cluster, "i2") == iterations
+            for cluster in range(clusters)
+        ),
+        cycles_per_iteration=round(machine.cycle / iterations, 4),
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: user-level message passing
+# ---------------------------------------------------------------------------
+
+
+@register("remote-store-latency")
+def remote_store_latency(
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 5000,
+) -> Dict[str, object]:
+    """End-to-end latency of a single SEND carrying a remote store."""
+    machine = _machine(mesh, kernel)
+    far = _far_node(machine)
+    machine.map_on_node(far, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(
+        0,
+        0,
+        0,
+        f"""
+        mov m0, #99
+        send i1, #{dip}, #1
+        halt
+        """,
+        registers={"i1": REGION + 1},
+    )
+    machine.run_until_quiescent(max_cycles=max_cycles)
+    send = machine.tracer.first("send", cluster=0)
+    complete = None
+    for event in machine.tracer.filter("store_complete", node=far):
+        if event.info.get("address") == REGION + 1:
+            complete = event
+            break
+    verified = complete is not None and machine.read_word(REGION + 1) == 99
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=verified,
+        latency=(complete.cycle - send.cycle) if complete is not None else -1,
+    )
+    return metrics
+
+
+@register("message-stream")
+def message_stream(
+    count: int = 64,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 200000,
+) -> Dict[str, object]:
+    """Sustained rate of a stream of remote-store messages."""
+    from repro.workloads.synthetic import remote_store_sender_program
+
+    machine = _machine(mesh, kernel)
+    far = _far_node(machine)
+    machine.map_on_node(far, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, count))
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(machine.read_word(REGION + i) != 0 for i in range(count)),
+        cycles_per_message=round(machine.cycle / count, 4),
+    )
+    return metrics
+
+
+@register("ping-pong")
+def ping_pong(
+    rounds: int = 16,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 400000,
+) -> Dict[str, object]:
+    """User-level ping-pong between node 0 and the far corner of the mesh.
+
+    Each side spins on a locally-homed flag and SENDs a remote store to the
+    other side's flag, ``rounds`` times (the Figure 7 ping-pong generalised
+    to any mesh size).
+    """
+    machine = _machine(mesh, kernel)
+    far = _far_node(machine)
+    if far == 0:
+        raise ValueError("ping-pong needs at least two nodes")
+    machine.map_on_node(far, REGION, num_pages=1)
+    machine.map_on_node(0, REGION + 0x1000, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    ping, pong = REGION + 8, REGION + 0x1000 + 8
+    machine.write_word(ping, 0)
+    machine.write_word(pong, 0)
+    machine.load_hthread(
+        0,
+        0,
+        0,
+        f"""
+        mov i3, #0
+loop:   add i3, i3, #1
+        mov m0, i3
+        send i1, #{dip}, #1       ; ping
+wait:   ld i4, i2
+        lt i5, i4, i3
+        br i5, wait               ; spin until the pong for this round lands
+        lt i6, i3, #{rounds}
+        br i6, loop
+        halt
+        """,
+        registers={"i1": ping, "i2": pong},
+    )
+    machine.load_hthread(
+        far,
+        0,
+        0,
+        f"""
+        mov i3, #0
+loop:   add i3, i3, #1
+wait:   ld i4, i2
+        lt i5, i4, i3
+        br i5, wait               ; wait for the ping
+        mov m0, i3
+        send i1, #{dip}, #1       ; pong
+        lt i6, i3, #{rounds}
+        br i6, loop
+        halt
+        """,
+        registers={"i1": pong, "i2": ping},
+    )
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=(
+            machine.read_word(ping) == rounds and machine.read_word(pong) == rounds
+        ),
+        cycles_per_round_trip=round(machine.cycle / rounds, 4),
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: GTLB page-group mapping (analytic)
+# ---------------------------------------------------------------------------
+
+
+@register("gtlb-mapping")
+def gtlb_mapping(
+    pages_per_node: int = 2,
+    num_pages: int = 64,
+    lookups: int = 5000,
+    page_size_words: int = 512,
+) -> Dict[str, object]:
+    """Page-group interleaving spread and GTLB translation hit rate."""
+    from repro.network.gtlb import GlobalDestinationTable, Gtlb, GtlbEntry
+
+    entry = GtlbEntry(
+        base_page=0,
+        page_group_length=num_pages,
+        start_node=(0, 0, 0),
+        extent=(1, 1, 1),
+        pages_per_node=pages_per_node,
+        page_size_words=page_size_words,
+    )
+    counts: Dict[Tuple[int, int, int], int] = {}
+    for page in range(num_pages):
+        coords = entry.node_coords_of(page * page_size_words)
+        counts[coords] = counts.get(coords, 0) + 1
+    gdt = GlobalDestinationTable()
+    gdt.add(entry)
+    gtlb = Gtlb(gdt)
+    for index in range(lookups):
+        gtlb.node_coords_of((index * 37) % (num_pages * page_size_words))
+    return {
+        "verified": entry == GtlbEntry.unpack(entry.pack(), page_size_words),
+        "nodes_used": len(counts),
+        "min_pages_per_node": min(counts.values()),
+        "max_pages_per_node": max(counts.values()),
+        "gtlb_hit_rate": round(gtlb.hit_rate, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: remote access timelines
+# ---------------------------------------------------------------------------
+
+
+@register("remote-access-timeline")
+def remote_access_timeline(
+    kind: str = "read",
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 10000,
+) -> Dict[str, object]:
+    """Milestone timeline of a single remote read or write (Figure 9)."""
+    from repro.analysis.timeline import extract_remote_access_timeline
+
+    if kind not in ("read", "write"):
+        raise ValueError("kind must be 'read' or 'write'")
+    machine = _machine(mesh, kernel)
+    far = _far_node(machine)
+    machine.map_on_node(far, REGION, num_pages=1)
+    machine.write_word(REGION, 11)
+    if kind == "read":
+        machine.load_hthread(0, 0, 0, "ld i5, i1\nhalt", registers={"i1": REGION})
+        machine.run_until(
+            lambda m: m.register_full(0, 0, 0, "i5"), max_cycles=max_cycles
+        )
+    else:
+        machine.load_hthread(
+            0, 0, 0, "st i6, i1\nhalt", registers={"i1": REGION, "i6": 77}
+        )
+        machine.run_until_quiescent(max_cycles=max_cycles)
+    timeline = extract_remote_access_timeline(machine.tracer, kind, address=REGION)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=timeline.total_cycles > 0,
+        total_cycles=timeline.total_cycles,
+        milestones=len(timeline.events),
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Table 1: access-time matrix
+# ---------------------------------------------------------------------------
+
+
+@register("table1-access-times")
+def table1_access_times() -> Dict[str, object]:
+    """All twelve Table 1 access-time measurements."""
+    from repro.analysis.latency import SCENARIOS, AccessLatencyHarness
+
+    harness = AccessLatencyHarness()
+    results = harness.measure_all()
+    metrics: Dict[str, object] = {"verified": set(results) == set(SCENARIOS)}
+    for scenario in SCENARIOS:
+        metrics[f"{scenario}_read"] = results[scenario]["read"]
+        metrics[f"{scenario}_write"] = results[scenario]["write"]
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Ablation A1/A2: intra-node
+# ---------------------------------------------------------------------------
+
+
+@register("vthread-interleave")
+def vthread_interleave(
+    num_threads: int = 4,
+    chain_loads: int = 24,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 100000,
+) -> Dict[str, object]:
+    """Pointer-chasing V-Threads sharing one cluster (latency tolerance)."""
+    from repro.workloads.microbench import build_pointer_chain, dependent_load_chain_program
+
+    machine = _machine(mesh, kernel)
+    machine.map_on_node(0, HEAP, num_pages=4)
+    for address, value in build_pointer_chain(32, HEAP, stride=16):
+        machine.write_word(address, value)
+    for slot in range(num_threads):
+        machine.load_hthread(
+            0, slot, 0, dependent_load_chain_program(chain_loads), registers={"i1": HEAP}
+        )
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(
+            machine.thread_halted(0, slot, 0) for slot in range(num_threads)
+        ),
+        num_threads=num_threads,
+    )
+    return metrics
+
+
+@register("issue-policy")
+def issue_policy(
+    policy: str = "event-priority",
+    iterations: int = 100,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 100000,
+) -> Dict[str, object]:
+    """A single arithmetic loop under a thread-selection policy (A2)."""
+    from repro.workloads.microbench import compute_loop_program
+
+    machine = _machine(mesh, kernel, **{"cluster.issue_policy": policy})
+    machine.load_hthread(0, 0, 0, compute_loop_program(iterations))
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=machine.register_value(0, 0, 0, "i5") == 3 * iterations,
+        policy=policy,
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Ablation A3: remote memory, non-cached vs coherent
+# ---------------------------------------------------------------------------
+
+
+@register("remote-memory")
+def remote_memory(
+    mode: str = "remote",
+    repeats: int = 16,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 200000,
+) -> Dict[str, object]:
+    """Repeated reads of one remote word under a shared-memory runtime.
+
+    ``mode="remote"`` is the Section 4.2 non-cached runtime (every read pays
+    the full remote latency); ``mode="coherent"`` is the Section 4.3 DRAM
+    caching runtime (one block fetch, then local speed).
+    """
+    machine = _machine(mesh, kernel, shared_memory_mode=mode)
+    far = _far_node(machine)
+    machine.map_on_node(far, REGION, num_pages=1)
+    machine.write_word(REGION, 3)
+    machine.load_hthread(
+        0,
+        0,
+        0,
+        f"""
+        mov i3, #0
+        mov i5, #0
+loop:   ld i4, i1          ; read the same remote word
+        add i5, i5, i4
+        add i3, i3, #1
+        lt i6, i3, #{repeats}
+        br i6, loop
+        halt
+        """,
+        registers={"i1": REGION},
+    )
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=machine.register_value(0, 0, 0, "i5") == 3 * repeats,
+        mode=mode,
+    )
+    return metrics
+
+
+@register("coherence")
+def coherence(
+    repeats: int = 16,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 200000,
+) -> Dict[str, object]:
+    """Alias for :func:`remote_memory` with the coherent runtime."""
+    return remote_memory(mode="coherent", repeats=repeats, mesh=mesh, kernel=kernel,
+                         max_cycles=max_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Ablation A4: flood / return-to-sender throttling
+# ---------------------------------------------------------------------------
+
+
+@register("flood")
+def flood(
+    send_credits: int = 16,
+    queue_words: int = 128,
+    messages: int = 24,
+    retransmit_interval: int = 16,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 400000,
+) -> Dict[str, object]:
+    """One producer floods the far corner with remote-store messages."""
+    from repro.workloads.synthetic import remote_store_sender_program
+
+    machine = _machine(
+        mesh,
+        kernel,
+        **{
+            "network.send_credits": send_credits,
+            "network.message_queue_words": queue_words,
+            "network.retransmit_interval": retransmit_interval,
+        },
+    )
+    far = _far_node(machine)
+    machine.map_on_node(far, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, messages))
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(machine.read_word(REGION + i) != 0 for i in range(messages)),
+        nacks=machine.nodes[0].net.nacks_received,
+        retransmissions=machine.nodes[0].net.retransmissions,
+        max_queue_words=machine.nodes[far].msg_queue_p0.max_occupancy,
+    )
+    return metrics
+
+
+@register("many-to-one-flood")
+def many_to_one_flood(
+    senders: int = 3,
+    messages_each: int = 8,
+    queue_words: int = 6,
+    retransmit_interval: int = 16,
+    mesh: Sequence[int] = (2, 2, 1),
+    kernel: str = "event",
+    max_cycles: int = 400000,
+) -> Dict[str, object]:
+    """Several producers flood one consumer (return-to-sender stress)."""
+    from repro.workloads.synthetic import many_to_one_store_programs
+
+    machine = _machine(
+        mesh,
+        kernel,
+        **{
+            "network.message_queue_words": queue_words,
+            "network.retransmit_interval": retransmit_interval,
+        },
+    )
+    if senders >= machine.num_nodes:
+        raise ValueError("need one node per sender plus the consumer")
+    machine.map_on_node(0, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    programs = many_to_one_store_programs(senders, messages_each, REGION, dip)
+    for sender, program in programs.items():
+        machine.load_hthread(sender + 1, 0, 0, program)
+    machine.run_until_user_done(max_cycles=max_cycles)
+    total = senders * messages_each
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(machine.read_word(REGION + i) != 0 for i in range(total)),
+        nacks=sum(node.net.nacks_received for node in machine.nodes),
+        retransmissions=sum(node.net.retransmissions for node in machine.nodes),
+        max_queue_words=machine.nodes[0].msg_queue_p0.max_occupancy,
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Sections 1/5: area model (analytic)
+# ---------------------------------------------------------------------------
+
+
+@register("area-model")
+def area_model(num_nodes: int = 32) -> Dict[str, object]:
+    """The silicon-area / peak-performance comparison of Sections 1 and 5."""
+    from repro.core.area_model import AreaModel, TECH_1993, TECH_1996
+
+    model = AreaModel()
+    comparison = model.comparison(num_nodes=num_nodes)
+    return {
+        "verified": comparison["peak_ratio"] > 0,
+        "peak_ratio": comparison["peak_ratio"],
+        "area_ratio": round(comparison["area_ratio"], 4),
+        "peak_per_area_improvement": round(comparison["peak_per_area_improvement"], 2),
+        "processor_fraction_1993": round(TECH_1993.processor_fraction_of_chip, 4),
+        "processor_fraction_1996": round(TECH_1996.processor_fraction_of_chip, 4),
+    }

@@ -45,7 +45,7 @@ loop0:
     brz gcc1, loop0
     halt
 """
-    source1 = f"""
+    source1 = """
     ; Figure 6, H-Thread 1 (cluster 1)
     mov i2, #0
     empty gcc1

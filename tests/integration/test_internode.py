@@ -3,8 +3,6 @@ message passing (Figure 7), transparent remote memory access via the event
 V-Thread handlers (Section 4.2), throttling, and the software DRAM-caching /
 coherence layer (Section 4.3)."""
 
-import pytest
-
 from repro import MMachine, MachineConfig, BlockStatus
 from repro.analysis.timeline import extract_remote_access_timeline
 from repro.workloads.synthetic import (

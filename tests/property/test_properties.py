@@ -6,7 +6,6 @@ memory system against a reference model."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import MachineConfig
 from repro.isa.assembler import assemble
 from repro.isa.registers import RegFile, RegisterRef, pack_regspec, unpack_regspec
 from repro.cluster.functional_units import evaluate_operation
@@ -19,7 +18,6 @@ from repro.memory.page_table import (
     BlockStatus,
     LocalPageTable,
     LptEntry,
-    PAGE_SIZE_WORDS,
 )
 from repro.memory.requests import MemOpKind, MemRequest
 from repro.memory.sdram import Sdram

@@ -1,0 +1,160 @@
+"""Unit tests for the ``repro`` CLI: parsing, list/run/validate commands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_param, parse_params
+from repro.sweep import SCHEMA_VERSION, make_record
+
+
+class TestArgParsing:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "smoke"])
+        assert args.spec == "smoke"
+        assert args.jobs == 1
+        assert args.results_dir == "sweep-results"
+        assert not args.force and not args.dry_run
+
+    def test_sweep_jobs_short_flag(self):
+        args = build_parser().parse_args(["sweep", "smoke", "-j", "4"])
+        assert args.jobs == 4
+
+    def test_no_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_param_values_parse_as_json_when_possible(self):
+        assert parse_param("4") == 4
+        assert parse_param("[4,4,1]") == [4, 4, 1]
+        assert parse_param("true") is True
+        assert parse_param("7pt") == "7pt"
+
+    def test_parse_params_pairs(self):
+        params = parse_params(["kind=7pt", "n_hthreads=2"])
+        assert params == {"kind": "7pt", "n_hthreads": 2}
+
+    def test_parse_params_rejects_bare_words(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_params(["nonsense"])
+
+
+class TestListCommand:
+    def test_lists_workloads_and_specs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil" in out
+        assert "paper-figures" in out
+        assert "smoke" in out
+
+
+class TestRunCommand:
+    def test_run_prints_metrics_json(self, capsys):
+        assert main(["run", "area-model"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["peak_ratio"] == 128
+        assert payload["run_id"].startswith("area-model_")
+
+    def test_run_with_params(self, capsys):
+        assert main(["run", "stencil", "--param", "kind=7pt",
+                     "--param", "n_hthreads=2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["verified"] is True
+        assert payload["metrics"]["static_depth"] == 8
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["run", "no-such-workload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_malformed_param_exits_2(self):
+        assert main(["run", "stencil", "--param", "oops"]) == 2
+
+    def test_invalid_param_value_exits_2(self, capsys):
+        assert main(["run", "ping-pong", "--param", "mesh=[1,1,1]"]) == 2
+        assert "at least two nodes" in capsys.readouterr().err
+
+    def test_unexpected_param_name_exits_2(self, capsys):
+        assert main(["run", "stencil", "--param", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestSweepArgErrors:
+    def test_unknown_spec_exits_2(self, capsys):
+        assert main(["sweep", "no-such-spec"]) == 2
+        assert "unknown sweep spec" in capsys.readouterr().err
+
+    def test_spec_and_spec_file_together_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        assert main(["sweep", "smoke", "--spec-file", str(path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_spec_nor_file_exits_2(self):
+        assert main(["sweep"]) == 2
+
+    def test_malformed_yaml_spec_file_exits_2(self, tmp_path, capsys):
+        pytest.importorskip("yaml")
+        path = tmp_path / "bad.yaml"
+        path.write_text("groups: [unclosed\n  - nonsense: {")
+        assert main(["sweep", "--spec-file", str(path)]) == 2
+        assert "neither valid JSON nor valid YAML" in capsys.readouterr().err
+
+    def test_dry_run_still_validates_the_spec(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "typo",
+            "groups": [{"workload": "stencill"}],
+        }))
+        assert main(["sweep", "--spec-file", str(path), "--dry-run"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_dry_run_prints_ids_without_results(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        assert main(["sweep", "smoke", "--dry-run",
+                     "--results-dir", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 11
+        assert not results_dir.exists()
+
+
+class TestValidateCommand:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_valid_document_exits_0(self, tmp_path, capsys):
+        record = make_record(run_id="r1", workload="area-model", params={},
+                             status="ok", metrics={"peak_ratio": 128},
+                             wall_seconds=0.1)
+        path = self._write(tmp_path / "ok.json",
+                           {"schema_version": SCHEMA_VERSION, "runs": [record]})
+        assert main(["validate", path]) == 0
+        assert "valid (1 records)" in capsys.readouterr().out
+
+    def test_schema_invalid_document_exits_1(self, tmp_path, capsys):
+        path = self._write(tmp_path / "bad.json",
+                           {"schema_version": SCHEMA_VERSION,
+                            "runs": [{"run_id": "r1"}]})
+        assert main(["validate", path]) == 1
+        assert "missing field" in capsys.readouterr().err
+
+    def test_missing_records_exit_1(self, tmp_path, capsys):
+        path = self._write(tmp_path / "missing.json",
+                           {"schema_version": SCHEMA_VERSION,
+                            "expected_run_ids": ["r1"], "runs": []})
+        assert main(["validate", path]) == 1
+        assert "missing record" in capsys.readouterr().err
+
+    def test_unreadable_file_exits_2(self, tmp_path):
+        assert main(["validate", str(tmp_path / "absent.json")]) == 2
+
+    def test_failed_runs_exit_1_unless_allowed(self, tmp_path):
+        record = make_record(run_id="r1", workload="stencil", params={},
+                             status="failed", metrics={}, wall_seconds=0.1,
+                             error="boom")
+        path = self._write(tmp_path / "failed.json",
+                           {"schema_version": SCHEMA_VERSION, "runs": [record]})
+        assert main(["validate", path]) == 1
+        assert main(["validate", path, "--allow-failed"]) == 0

@@ -19,12 +19,12 @@ from repro.core.config import (
     NUM_VTHREAD_SLOTS,
 )
 from repro.core.latency_model import LatencyModel, PAPER_REMOTE_READ_STEPS, PAPER_TABLE1
-from repro.core.stats import MachineStats, format_table
+from repro.core.stats import format_table
 from repro.core.trace import Tracer
 from repro.events.queue import EventQueue, HardwareQueue, QueueOverflowError
 from repro.events.records import EVENT_RECORD_WORDS, EventRecord, EventType
 from repro.isa.assembler import assemble
-from repro.isa.registers import RegFile, RegisterRef, parse_register
+from repro.isa.registers import parse_register
 from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
 from repro.switches.crossbar import BROADCAST, Crossbar
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa.assembler import AssemblyError, assemble
 from repro.isa.instruction import Instruction
-from repro.isa.operations import OPCODES, LabelRef, OpClass, Operation, Unit
+from repro.isa.operations import OPCODES, Operation, Unit
 from repro.isa.registers import (
     NUM_CLUSTERS,
     NUM_GCC_REGS,

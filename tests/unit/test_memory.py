@@ -3,7 +3,6 @@ cache, guarded pointers and the integrated memory system."""
 
 import pytest
 
-from repro.core.config import MachineConfig
 from repro.events.records import EventType
 from repro.memory.cache import InterleavedCache
 from repro.memory.guarded_pointer import (
@@ -383,7 +382,6 @@ class TestCache:
 
 
 def _build_memory_system(tracer=None):
-    config = MachineConfig.single_node().memory
     sdram = Sdram(size_words=1 << 16, secded_enabled=False)
     cache = InterleavedCache()
     ltlb = Ltlb()
