@@ -19,7 +19,9 @@ with sweep output.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
 
 import pytest
@@ -27,6 +29,35 @@ import pytest
 from repro.sweep.runner import record_from_metrics, store_record
 from repro.sweep.spec import RunSpec
 from repro.workloads import factories
+
+#: Machine-readable benchmark trajectory, written to ``BENCH_kernel.json``
+#: (or ``$REPRO_BENCH_JSON``) at session end.  Benchmarks append named
+#: entries via :func:`record_trajectory`; CI uploads the file as an
+#: artifact so kernel throughput and snapshot overhead are tracked per
+#: commit.
+BENCH_TRAJECTORY: dict = {}
+
+
+def record_trajectory(name: str, **metrics) -> None:
+    """Record one named benchmark result for the trajectory file."""
+    BENCH_TRAJECTORY[name] = metrics
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BENCH_TRAJECTORY:
+        return
+    from repro import __version__
+
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_kernel.json")
+    document = {
+        "schema_version": 1,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "benchmarks": BENCH_TRAJECTORY,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def report(title: str, lines) -> None:

@@ -16,9 +16,10 @@ ratio; ``test_event_kernel_speedup`` asserts the >= 2x floor from the
 issue's acceptance criteria (in practice the ratio is far higher).
 """
 
+import os
 import time
 
-from conftest import report
+from conftest import record_trajectory, report
 from repro import MMachine, MachineConfig
 
 REGION = 0x40000
@@ -95,6 +96,16 @@ def test_event_kernel_throughput(benchmark):
     benchmark.extra_info["node_ticks"] = machine.kernel.node_ticks
     benchmark.extra_info["node_ticks_naive_equivalent"] = naive_cycles * machine.num_nodes
 
+    record_trajectory(
+        "kernel_throughput",
+        simulated_cycles=event_cycles,
+        event_cycles_per_second=round(event_cps),
+        naive_cycles_per_second=round(naive_cps),
+        speedup_vs_naive=round(speedup, 2),
+        node_ticks_event=machine.kernel.node_ticks,
+        node_ticks_naive_equivalent=naive_cycles * machine.num_nodes,
+    )
+
     report("Kernel throughput (idle-heavy 4x4x1 remote-read chain)", [
         f"simulated cycles        {event_cycles}",
         f"naive loop              {naive_cps:>12.0f} cycles/s",
@@ -114,3 +125,51 @@ def test_event_kernel_speedup():
     assert event_cycles == naive_cycles
     speedup = (event_cycles / event_elapsed) / (naive_cycles / naive_elapsed)
     assert speedup >= 2.0, f"event kernel only {speedup:.2f}x faster than naive"
+
+
+def test_snapshot_save_restore_overhead(tmp_path):
+    """Measure the cost of the repro.snapshot subsystem on the benchmark
+    machine: wall time to save a mid-run snapshot, its size on disk, wall
+    time to restore in-process, and the interruption-free checkpoint cadence
+    those numbers support.  Recorded into the benchmark trajectory next to
+    kernel throughput (restore correctness has its own test suite)."""
+    machine = _build_machine("event")
+    machine.run(600)  # mid-run: the remote-read chain needs ~1900 cycles
+    snapshot_cycle = machine.cycle
+
+    path = str(tmp_path / "bench.json")
+    best_save = None
+    for _ in range(3):
+        start = time.perf_counter()
+        machine.save_snapshot(path)
+        elapsed = time.perf_counter() - start
+        best_save = elapsed if best_save is None else min(best_save, elapsed)
+    size_bytes = os.path.getsize(path)
+
+    best_restore = None
+    restored = None
+    for _ in range(3):
+        start = time.perf_counter()
+        restored = MMachine.from_snapshot(path)
+        elapsed = time.perf_counter() - start
+        best_restore = elapsed if best_restore is None else min(best_restore, elapsed)
+    assert restored.cycle == snapshot_cycle
+
+    # The snapshotted machine is not perturbed: it still finishes correctly.
+    cycles = _run(machine)
+
+    record_trajectory(
+        "snapshot_overhead",
+        snapshot_cycle=snapshot_cycle,
+        mesh="4x4x1",
+        save_seconds=round(best_save, 6),
+        restore_seconds=round(best_restore, 6),
+        snapshot_bytes=size_bytes,
+        final_cycles_after_snapshot=cycles,
+    )
+
+    report("Snapshot save/restore overhead (4x4x1, mid-run)", [
+        f"save              {best_save * 1e3:>10.2f} ms",
+        f"restore           {best_restore * 1e3:>10.2f} ms",
+        f"snapshot size     {size_bytes:>10d} bytes",
+    ])

@@ -3,10 +3,18 @@
 Subcommands:
 
 * ``repro list`` — available workloads and built-in sweep specs.
+* ``repro info`` — the default machine configuration as JSON.
 * ``repro run WORKLOAD [--param k=v ...]`` — one workload, metrics as JSON.
-* ``repro sweep SPEC [--jobs N] [--results-dir D] [--force] [--dry-run]``
-  — expand a built-in spec (or ``--spec-file``) and fan the runs out over a
-  worker pool; completed runs found in the results directory are skipped.
+* ``repro snapshot WORKLOAD --at-cycle C --out FILE`` — run a workload's
+  machine to cycle C, save a snapshot, and stop.
+* ``repro resume SNAPSHOT [--fanout K]`` — restore a snapshot (in this
+  fresh process) and run it to completion; with ``--fanout`` the same
+  warmed-up state is fanned out to K measurement runs.
+* ``repro sweep SPEC [--jobs N] [--results-dir D] [--force] [--dry-run]
+  [--checkpoint-every N]`` — expand a built-in spec (or ``--spec-file``) and
+  fan the runs out over a worker pool; completed runs found in the results
+  directory are skipped, and with ``--checkpoint-every`` interrupted runs
+  resume from their latest mid-run checkpoint instead of from cycle 0.
 * ``repro validate RESULTS.json`` — schema-check a merged results file and
   exit nonzero on invalid, missing or failed records.
 """
@@ -16,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
 from repro.sweep.runner import SweepRunner
@@ -48,13 +57,18 @@ def parse_params(pairs: Sequence[str]) -> Dict[str, object]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Run and sweep M-Machine reproduction experiments.",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list workloads and built-in sweep specs")
+
+    subparsers.add_parser("info", help="print the default machine configuration as JSON")
 
     run = subparsers.add_parser("run", help="run one workload and print its metrics")
     run.add_argument("workload", help="workload name (see 'repro list')")
@@ -67,6 +81,60 @@ def build_parser() -> argparse.ArgumentParser:
             "override one workload parameter (repeatable); values are "
             "parsed as JSON when possible"
         ),
+    )
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="run a workload to a given cycle, save a machine snapshot, stop",
+    )
+    snapshot.add_argument("workload", help="workload name (see 'repro list')")
+    snapshot.add_argument(
+        "--at-cycle",
+        type=int,
+        required=True,
+        metavar="C",
+        help="simulated cycle at (or just after) which to snapshot",
+    )
+    snapshot.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="snapshot file to write (.json, or .json.gz for compression)",
+    )
+    snapshot.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one workload parameter (repeatable)",
+    )
+
+    resume = subparsers.add_parser("resume", help="restore a snapshot and run it to completion")
+    resume.add_argument("snapshot", help="snapshot file written by 'repro snapshot'")
+    resume.add_argument(
+        "--max-cycles",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="cycle budget for the resumed run (default 1000000)",
+    )
+    resume.add_argument(
+        "--fanout",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "warm-start mode: fan the snapshot out to K measurement runs "
+            "(default 1)"
+        ),
+    )
+    resume.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --fanout (default 1: run inline)",
     )
 
     sweep = subparsers.add_parser(
@@ -110,6 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the expanded run ids without executing anything",
     )
+    sweep.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "snapshot each run's machine every N simulated cycles so an "
+            "interrupted sweep resumes mid-run instead of from cycle 0"
+        ),
+    )
 
     validate = subparsers.add_parser(
         "validate", help="schema-check a merged sweep-results.json"
@@ -134,6 +212,100 @@ def _cmd_list() -> int:
     for name in builtin_spec_names():
         spec = get_spec(name)
         print(f"  {name}  ({len(spec.expand())} runs) - {spec.description}")
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro import MachineConfig, __version__
+    from repro.snapshot.format import SNAPSHOT_SCHEMA_VERSION, config_to_dict
+
+    config = MachineConfig()
+    mesh = config.network.mesh_shape
+    payload = {
+        "version": __version__,
+        "snapshot_schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "defaults": {
+            "mesh_shape": list(mesh),
+            "num_nodes": config.num_nodes,
+            "clusters_per_node": config.node.num_clusters,
+            "vthread_slots": config.node.num_vthread_slots,
+            "cache_words": config.memory.cache_banks * config.memory.bank_size_words,
+            "sdram_words": config.memory.sdram_size_words,
+            "page_size_words": config.memory.page_size_words,
+            "kernel": config.sim.kernel,
+            "shared_memory_mode": config.runtime.shared_memory_mode,
+        },
+        "config": config_to_dict(config),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.snapshot.checkpoint import SnapshotTaken, checkpoint_context
+
+    try:
+        params = parse_params(args.param)
+    except argparse.ArgumentTypeError as error:
+        print(f"repro snapshot: {error}", file=sys.stderr)
+        return 2
+    if args.at_cycle < 0:
+        print("repro snapshot: --at-cycle must be non-negative", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="repro-snapshot-") as staging:
+        try:
+            policy_path: Optional[str] = None
+            with checkpoint_context(staging, snapshot_at=args.at_cycle, stop_after_snapshot=True):
+                try:
+                    factories.run_workload(args.workload, params)
+                except SnapshotTaken as taken:
+                    policy_path = taken.path
+        except (KeyError, TypeError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"repro snapshot: {message}", file=sys.stderr)
+            return 2
+        if policy_path is None:
+            print(
+                f"repro snapshot: workload {args.workload!r} finished before "
+                f"cycle {args.at_cycle}; nothing to snapshot",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.snapshot.format import read_snapshot, write_snapshot
+
+        document = read_snapshot(policy_path)
+        write_snapshot(document, args.out)
+    payload = {
+        "snapshot": args.out,
+        "workload": args.workload,
+        "cycle": document["machine"]["cycle"],
+        "schema_version": document["schema_version"],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.snapshot import SnapshotError
+    from repro.snapshot.warmstart import fan_out_parallel
+
+    if args.fanout < 1 or args.jobs < 1:
+        print("repro resume: --fanout and --jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        results = fan_out_parallel(
+            args.snapshot, args.fanout, jobs=args.jobs, max_cycles=args.max_cycles
+        )
+    except SnapshotError as error:
+        print(f"repro resume: {error}", file=sys.stderr)
+        return 2
+    except TimeoutError as error:
+        print(f"repro resume: {error}", file=sys.stderr)
+        return 1
+    payload = {"snapshot": args.snapshot, "runs": results}
+    if args.fanout == 1:
+        payload.update(results[0])
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -184,6 +356,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             results_dir=args.results_dir,
             jobs=args.jobs,
             force=args.force,
+            checkpoint_every=args.checkpoint_every,
         )
         result = runner.run(spec)
     except ValueError as error:
@@ -231,8 +404,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "validate":

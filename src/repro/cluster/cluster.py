@@ -504,6 +504,7 @@ class Cluster:
             physical=physical,
             is_fp=dest.file is RegFile.FP if dest is not None else False,
             issue_cycle=cycle,
+            req_id=self.node.request_ids(),
         )
         if dest is not None:
             if dest.is_remote:
@@ -639,6 +640,59 @@ class Cluster:
             "exceptions": self.exceptions_raised,
             "icache_fetches": self.icache.fetches,
         }
+
+    # -- snapshot (repro.snapshot state_dict contract) -----------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_counter, encode_value
+
+        return {
+            "contexts": [context.state_dict() for context in self.contexts],
+            "icache": self.icache.state_dict(),
+            "policy": self.policy.state_dict(),
+            "writebacks": [
+                {
+                    "due_cycle": wb.due_cycle,
+                    "slot": wb.slot,
+                    "ref": encode_value(wb.ref),
+                    "value": encode_value(wb.value),
+                    "clear_pending": wb.clear_pending,
+                }
+                for wb in self._writebacks
+            ],
+            "instructions_issued": self.instructions_issued,
+            "operations_issued": self.operations_issued,
+            "operations_by_unit": encode_counter(self.operations_by_unit),
+            "idle_cycles": self.idle_cycles,
+            "no_ready_cycles": self.no_ready_cycles,
+            "issue_by_slot": encode_counter(self.issue_by_slot),
+            "exceptions_raised": self.exceptions_raised,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_counter, decode_value
+
+        for context, context_state in zip(self.contexts, state["contexts"]):
+            context.load_state_dict(context_state)
+        self.icache.load_state_dict(state["icache"])
+        self.policy.load_state_dict(state["policy"])
+        self._writebacks = [
+            _Writeback(
+                due_cycle=wb["due_cycle"],
+                slot=wb["slot"],
+                ref=decode_value(wb["ref"]),
+                value=decode_value(wb["value"]),
+                clear_pending=wb["clear_pending"],
+            )
+            for wb in state["writebacks"]
+        ]
+        self.instructions_issued = state["instructions_issued"]
+        self.operations_issued = state["operations_issued"]
+        self.operations_by_unit = decode_counter(state["operations_by_unit"])
+        self.idle_cycles = state["idle_cycles"]
+        self.no_ready_cycles = state["no_ready_cycles"]
+        self.issue_by_slot = decode_counter(state["issue_by_slot"])
+        self.exceptions_raised = state["exceptions_raised"]
 
 
 def _exec_xregwr(cluster: Cluster, context, op, values, cycle) -> None:

@@ -99,6 +99,40 @@ class HThreadContext:
         self.stall_cycles += 1
         self.stall_reasons[reason] += 1
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_counter, encode_value
+
+        return {
+            "program": encode_value(self.program),
+            "pc": self.pc,
+            "state": self.state.value,
+            "registers": self.registers.state_dict(),
+            "instructions_issued": self.instructions_issued,
+            "operations_issued": self.operations_issued,
+            "stall_cycles": self.stall_cycles,
+            "stall_reasons": encode_counter(self.stall_reasons),
+            "issue_cycles": self.issue_cycles,
+            "start_cycle": self.start_cycle,
+            "halt_cycle": self.halt_cycle,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_counter, decode_value
+
+        self.program = decode_value(state["program"])
+        self.pc = state["pc"]
+        self.state = ThreadState(state["state"])
+        self.registers.load_state_dict(state["registers"])
+        self.instructions_issued = state["instructions_issued"]
+        self.operations_issued = state["operations_issued"]
+        self.stall_cycles = state["stall_cycles"]
+        self.stall_reasons = decode_counter(state["stall_reasons"])
+        self.issue_cycles = state["issue_cycles"]
+        self.start_cycle = state["start_cycle"]
+        self.halt_cycle = state["halt_cycle"]
+
     def __str__(self) -> str:
         return (
             f"HThread(slot={self.slot}, cluster={self.cluster_id}, state={self.state.value}, "

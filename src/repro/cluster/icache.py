@@ -82,5 +82,23 @@ class InstructionCache:
     def utilisation(self) -> float:
         return self.words_used / self.config.icache_words if self.config.icache_words else 0.0
 
+    # -- snapshot (repro.snapshot state_dict contract) ----------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "programs": [[slot, encode_value(program)]
+                         for slot, program in self._programs.items()],
+            "fetches": self.fetches,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._programs = {slot: decode_value(program)
+                          for slot, program in state["programs"]}
+        self.fetches = state["fetches"]
+
     def __repr__(self) -> str:
         return f"InstructionCache({self.name!r}, {len(self._programs)} programs, {self.words_used} words)"

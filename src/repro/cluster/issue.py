@@ -50,6 +50,14 @@ class IssuePolicy:
         """Feedback that *slot* issued this cycle (used to advance pointers)."""
         self._rr_pointer = (slot + 1) % self.num_slots
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        return {"rr_pointer": self._rr_pointer}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rr_pointer = state["rr_pointer"]
+
 
 class EventPriorityPolicy(IssuePolicy):
     """Exception slot, then event slot, then user slots round-robin."""

@@ -132,3 +132,29 @@ class RegisterSet:
             for index, value in enumerate(values):
                 result[f"{file.value}{index}"] = value
         return result
+
+    # -- snapshot (repro.snapshot state_dict contract) ----------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "values": {file.name: [encode_value(v) for v in values]
+                       for file, values in self._values.items()},
+            "full": {file.name: list(bits) for file, bits in self._full.items()},
+            "pending": {file.name: list(counts) for file, counts in self._pending.items()},
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        from repro.snapshot.values import decode_value
+
+        for file_name, values in state["values"].items():
+            self._values[RegFile[file_name]] = [decode_value(v) for v in values]
+        for file_name, bits in state["full"].items():
+            self._full[RegFile[file_name]] = [bool(b) for b in bits]
+        for file_name, counts in state["pending"].items():
+            self._pending[RegFile[file_name]] = [int(c) for c in counts]
+        self.reads = state["reads"]
+        self.writes = state["writes"]

@@ -65,3 +65,39 @@ class MeshObserver(Protocol):
     def message_delivered(self, node_id: int, cycle: int) -> None:
         """A message was just delivered to *node_id* at *cycle*."""
         ...
+
+
+@runtime_checkable
+class StatefulComponent(Protocol):
+    """The snapshot half of the component contract (:mod:`repro.snapshot`).
+
+    Every component that holds mutable simulation state implements this
+    pair.  The rules:
+
+    1. **Completeness.**  ``state_dict()`` must capture every piece of state
+       that can influence future architectural behaviour *or statistics* --
+       an omitted counter breaks the bit-exact-resume guarantee just as an
+       omitted queue does.  Structure that is rebuilt by construction from
+       the :class:`~repro.core.config.MachineConfig` (geometry, wiring,
+       callbacks, handler objects) is *not* captured; restore always runs on
+       a freshly-constructed, identically-configured machine.
+    2. **Plain data.**  The returned dict must be JSON-compatible.  Domain
+       values (guarded pointers, event records, messages, requests, register
+       writes, programs) go through :func:`repro.snapshot.values.encode_value`;
+       mappings whose iteration order matters (and all non-string-keyed
+       mappings) are stored as ordered ``[key, value]`` pair lists.
+    3. **Exact inversion.**  ``load_state_dict(state_dict())`` on a
+       same-configured component must reproduce a component whose observable
+       behaviour is indistinguishable, including shared-object identity that
+       behaviour depends on (the LTLB re-links the page table's own
+       ``LptEntry`` objects, an instruction cache and its thread contexts
+       share ``Program`` objects).
+    """
+
+    def state_dict(self) -> dict:
+        """This component's complete mutable state as plain JSON data."""
+        ...
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        ...

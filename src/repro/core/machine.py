@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MachineConfig
+from repro.core.ids import IdSource
 from repro.core.scheduler import SimulationKernel
 from repro.core.stats import MachineStats
 from repro.core.trace import Tracer
@@ -27,6 +28,7 @@ from repro.isa.registers import parse_register
 from repro.network.gtlb import GlobalDestinationTable, GtlbEntry
 from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
 from repro.node.node import Node
+from repro.snapshot.checkpoint import attach_machine
 
 ProgramLike = Union[Program, str]
 
@@ -46,6 +48,11 @@ class MMachine:
         self.tracer = Tracer(self.config.trace_enabled)
         self.gdt = GlobalDestinationTable()
         self.mesh = MeshNetwork(self.config.network)
+        #: Machine-owned id allocators: request/message numbering is a pure
+        #: function of this machine's execution (other machines in the same
+        #: process cannot perturb it), and snapshots capture/restore it.
+        self.request_ids = IdSource()
+        self.message_ids = IdSource()
         shape = self.config.network.mesh_shape
         self.nodes: List[Node] = [
             Node(
@@ -55,6 +62,8 @@ class MMachine:
                 mesh=self.mesh,
                 gdt=self.gdt,
                 tracer=self.tracer,
+                request_ids=self.request_ids,
+                message_ids=self.message_ids,
             )
             for node_id in range(self.config.num_nodes)
         ]
@@ -69,6 +78,9 @@ class MMachine:
         self.kernel: Optional[SimulationKernel] = None
         if self.config.sim.kernel == "event":
             self.kernel = SimulationKernel(self)
+        #: Per-machine checkpoint runtime, or None when no checkpoint policy
+        #: is active (see :mod:`repro.snapshot.checkpoint`).
+        self._checkpoint = attach_machine(self)
 
     # ------------------------------------------------------------------ topology
 
@@ -222,11 +234,15 @@ class MMachine:
         for node in self.nodes:
             issued += node.tick(cycle)
         self.cycle += 1
+        if self._checkpoint is not None:
+            self._checkpoint.on_cycle(self)
         return issued
 
     def run(self, max_cycles: int, until: Optional[Callable[["MMachine"], bool]] = None) -> int:
         """Run for at most *max_cycles* more cycles, stopping early when
         *until* (if given) returns True.  Returns the cycle count reached."""
+        if self._checkpoint is not None:
+            self._checkpoint.on_run_start(self)
         if self.kernel is not None:
             return self.kernel.run(max_cycles, until)
         limit = self.cycle + max_cycles
@@ -238,6 +254,8 @@ class MMachine:
 
     def run_until(self, predicate: Callable[["MMachine"], bool], max_cycles: int = 100_000) -> int:
         """Run until *predicate* holds; raises TimeoutError if it never does."""
+        if self._checkpoint is not None:
+            self._checkpoint.on_run_start(self)
         if self.kernel is not None:
             return self.kernel.run_until(predicate, max_cycles)
         limit = self.cycle + max_cycles
@@ -252,6 +270,8 @@ class MMachine:
     def run_until_quiescent(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until nothing has issued and nothing is in flight anywhere for
         *settle_cycles* consecutive cycles."""
+        if self._checkpoint is not None:
+            self._checkpoint.on_run_start(self)
         if self.kernel is not None:
             return self.kernel.run_until_quiescent(max_cycles, settle_cycles)
         limit = self.cycle + max_cycles
@@ -271,6 +291,8 @@ class MMachine:
     def run_until_user_done(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until every user H-Thread has halted and the machine is
         otherwise quiescent (handlers drained, network idle)."""
+        if self._checkpoint is not None:
+            self._checkpoint.on_run_start(self)
         if self.kernel is not None:
             return self.kernel.run_until_user_done(max_cycles, settle_cycles)
         limit = self.cycle + max_cycles
@@ -290,6 +312,117 @@ class MMachine:
             if quiet >= settle_cycles:
                 return self.cycle
         raise TimeoutError(f"user threads did not finish within {max_cycles} cycles")
+
+    # ------------------------------------------------------------------- snapshot
+
+    def state_dict(self) -> Dict[str, object]:
+        """Capture the complete architectural state of the machine as a
+        JSON-compatible structure (the machine half of the repro.snapshot
+        state_dict contract).
+
+        The event kernel's lazy idle accounting is settled first, so the
+        captured statistics are exactly the naive loop's; the kernel's own
+        sleep ledger is *not* captured -- every public run loop begins by
+        waking all nodes, so a restored machine starting all-awake continues
+        bit-exactly.
+        """
+        if self.kernel is not None:
+            self.kernel.sync()
+        return {
+            "cycle": self.cycle,
+            "id_counters": {
+                "mem_request": self.request_ids.state(),
+                "message": self.message_ids.state(),
+            },
+            "gdt": self.gdt.state_dict(),
+            "mesh": self.mesh.state_dict(),
+            "tracer": self.tracer.state_dict(),
+            "nodes": [node.state_dict() for node in self.nodes],
+            "coherence": (
+                self.runtime.coherence.state_dict()
+                if self.runtime is not None and self.runtime.coherence is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Load a :meth:`state_dict` into this machine (which must have been
+        built from the same configuration).  Only this machine's state is
+        touched -- the id allocators are machine-owned, so other machines in
+        the process are unaffected."""
+        from repro.snapshot.values import SnapshotError
+
+        counters = state["id_counters"]
+        self.request_ids.load_state(counters["mem_request"])
+        self.message_ids.load_state(counters["message"])
+        self.gdt.load_state_dict(state["gdt"])
+        self.mesh.load_state_dict(state["mesh"])
+        self.tracer.load_state_dict(state["tracer"])
+        if len(state["nodes"]) != len(self.nodes):
+            raise SnapshotError(
+                f"snapshot has {len(state['nodes'])} nodes, machine has {len(self.nodes)}"
+            )
+        for node, node_state in zip(self.nodes, state["nodes"]):
+            node.load_state_dict(node_state)
+        coherence_state = state["coherence"]
+        if coherence_state is not None:
+            if self.runtime is None or self.runtime.coherence is None:
+                raise SnapshotError(
+                    "snapshot carries coherence-runtime state but this machine "
+                    "has no coherence runtime installed"
+                )
+            self.runtime.coherence.load_state_dict(coherence_state)
+        self.cycle = state["cycle"]
+        # Rebuild the clock driver: all nodes awake, no stale wakeups.
+        if self.kernel is not None:
+            self.kernel = SimulationKernel(self)
+
+    def snapshot_document(self) -> Dict[str, object]:
+        """The machine as a self-describing snapshot document (schema
+        version + full config + state)."""
+        from repro.snapshot.format import make_document
+
+        return make_document(self.config, self.state_dict())
+
+    def save_snapshot(self, path: str) -> str:
+        """Write a snapshot of the machine to *path* (gzip when the path
+        ends in ``.gz``); returns the path.  The machine can keep running
+        afterwards -- taking a snapshot does not perturb the simulation."""
+        from repro.snapshot.format import write_snapshot
+
+        return write_snapshot(self.snapshot_document(), path)
+
+    def restore_snapshot(self, document: Dict[str, object]) -> None:
+        """Load a snapshot *document* into this machine, refusing with
+        :class:`~repro.snapshot.format.ConfigMismatchError` when the
+        machine's configuration differs from the embedded one."""
+        from repro.snapshot.format import check_config_matches, validate_document
+
+        validate_document(document)
+        check_config_matches(self.config, document)
+        self.load_state_dict(document["machine"])
+
+    @classmethod
+    def from_snapshot(cls, source) -> "MMachine":
+        """Rebuild a machine from a snapshot: *source* is a path or an
+        already-loaded document.  The machine is constructed from the
+        embedded configuration, then the state is loaded into it."""
+        from repro.snapshot.format import (
+            config_from_dict,
+            read_snapshot,
+            validate_document,
+        )
+
+        if isinstance(source, dict):
+            document = source
+            validate_document(document)
+        else:
+            import os
+
+            document = read_snapshot(os.fspath(source))
+        machine = cls(config_from_dict(document["config"]))
+        machine.load_state_dict(document["machine"])
+        return machine
 
     # ------------------------------------------------------------------ statistics
 

@@ -191,6 +191,8 @@ class SimulationKernel:
             if node_issued == 0:
                 self._maybe_sleep(node, cycle)
         machine.cycle = cycle + 1
+        if machine._checkpoint is not None:
+            machine._checkpoint.on_cycle(machine)
         return issued
 
     # ----------------------------------------------------------- frozen-span logic
@@ -238,6 +240,8 @@ class SimulationKernel:
                 next_event = self._next_event()
                 if next_event is None or next_event > cycle:
                     machine.cycle = min(next_event, limit) if next_event is not None else limit
+                    if machine._checkpoint is not None:
+                        machine._checkpoint.on_cycle(machine)
                     continue
             self._step()
             # *until* may be cycle-dependent, so spans are never skipped
@@ -293,6 +297,8 @@ class SimulationKernel:
                             return machine.cycle
                         quiet += horizon - cycle
                         machine.cycle = horizon
+                    if machine._checkpoint is not None:
+                        machine._checkpoint.on_cycle(machine)
                     continue
             issued = self._step()
             quiet = 0 if self._machine_busy(issued) else quiet + 1
@@ -325,6 +331,8 @@ class SimulationKernel:
                     else:
                         quiet = 0
                     machine.cycle = horizon
+                    if machine._checkpoint is not None:
+                        machine._checkpoint.on_cycle(machine)
                     continue
             issued = self._step()
             if self._users_done() and not self._machine_busy(issued):

@@ -20,18 +20,58 @@ category           emitted when
 ``event_enqueue``  an asynchronous event record enters its hardware queue
 ``handler_*``      emitted by runtime handlers (dispatch, completion)
 ``msg_inject`` / ``msg_deliver`` / ``msg_ack`` / ``msg_nack`` / ``msg_reject``
+/ ``msg_retransmit``
                    network interface activity
 ``send``           a SEND instruction executed
 ``xregwr``         a privileged register write was performed
 ``mark``           the ``mark`` debug operation
+``halt``           an H-Thread executed ``halt``
 ``exception``      a synchronous exception was raised
 =================  ===========================================================
+
+The machine-readable form of this table is :data:`TRACE_CATEGORIES` (plus
+the ``handler_`` prefix for runtime-handler events); the contract test
+``tests/integration/test_trace_contract.py`` checks that every category the
+simulator emits appears there and that a representative workload mix
+exercises each one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
+
+#: Every trace category the simulator can emit, as documented in the table
+#: above.  This is a stable interface: analyses and tests may rely on these
+#: names, and new instrumentation must extend this set (and the table).
+TRACE_CATEGORIES = frozenset({
+    "mem_issue",
+    "cache_hit",
+    "cache_miss",
+    "ltlb_miss",
+    "block_status_fault",
+    "sync_fault",
+    "store_complete",
+    "mem_response",
+    "reg_write",
+    "event_enqueue",
+    "handler_dispatch",
+    "handler_sync_retry",
+    "msg_inject",
+    "msg_deliver",
+    "msg_ack",
+    "msg_nack",
+    "msg_reject",
+    "msg_retransmit",
+    "send",
+    "xregwr",
+    "mark",
+    "halt",
+    "exception",
+})
+
+#: Prefix of the runtime-handler categories (``handler_dispatch``, ...).
+HANDLER_CATEGORY_PREFIX = "handler_"
 
 
 @dataclass
@@ -58,6 +98,11 @@ class Tracer:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        #: Encoded-event cache for :meth:`state_dict`.  The event list is
+        #: append-only between snapshots, so periodic checkpointing encodes
+        #: each event once instead of re-encoding the whole (ever-growing)
+        #: trace on every save.
+        self._encoded_events: List[list] = []
 
     def record(self, cycle: int, node: int, category: str, **info) -> None:
         if not self.enabled:
@@ -108,9 +153,49 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+        self._encoded_events = []
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        """The full trace is part of a snapshot: several workloads verify
+        their results (and the Figure 9 analyses measure latencies) from
+        events recorded *before* the snapshot point, so a resumed run must
+        see the complete history, not just its own tail."""
+        from repro.snapshot.values import encode_value
+
+        def encode_info(info):
+            # Fast path: almost every info dict holds only plain scalars.
+            for value in info.values():
+                value_type = type(value)
+                if not (value_type is int or value_type is str
+                        or value_type is bool or value is None):
+                    return encode_value(info)
+            return dict(info)
+
+        # Only events recorded since the previous state_dict call need
+        # encoding; the cache keeps periodic checkpointing O(new events)
+        # instead of O(total trace) per save.
+        encoded = self._encoded_events
+        for event in self.events[len(encoded):]:
+            encoded.append(
+                [event.cycle, event.node, event.category, encode_info(event.info)]
+            )
+        return {"enabled": self.enabled, "events": list(encoded)}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self.enabled = state["enabled"]
+        self.events = [
+            TraceEvent(cycle=cycle, node=node, category=category,
+                       info=decode_value(info))
+            for cycle, node, category, info in state["events"]
+        ]
+        self._encoded_events = []
 
     def dump(self, categories: Optional[Iterable[str]] = None) -> str:
         """Human-readable dump (debugging aid)."""

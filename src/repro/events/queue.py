@@ -93,6 +93,24 @@ class HardwareQueue:
     def clear(self) -> None:
         self._words.clear()
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "words": list(self._words),
+            "total_pushed": self.total_pushed,
+            "total_popped": self.total_popped,
+            "max_occupancy": self.max_occupancy,
+            "overflow_rejections": self.overflow_rejections,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._words = deque(state["words"])
+        self.total_pushed = state["total_pushed"]
+        self.total_popped = state["total_popped"]
+        self.max_occupancy = state["max_occupancy"]
+        self.overflow_rejections = state["overflow_rejections"]
+
     def __repr__(self) -> str:
         return f"HardwareQueue({self.name!r}, {len(self._words)}/{self.capacity_words} words)"
 
@@ -163,3 +181,22 @@ class EventQueue(HardwareQueue):
     @property
     def pending_records(self) -> int:
         return len(self._records)
+
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        state = super().state_dict()
+        state["records"] = [encode_value(record) for record in self._records]
+        state["head_offset"] = self._head_offset
+        state["records_pushed"] = self.records_pushed
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        super().load_state_dict(state)
+        self._records = deque(decode_value(record) for record in state["records"])
+        self._head_offset = state["head_offset"]
+        self.records_pushed = state["records_pushed"]

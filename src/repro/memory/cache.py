@@ -253,6 +253,73 @@ class InterleavedCache:
         self._sets.clear()
         return dirty
 
+    # -- snapshot (repro.snapshot state_dict contract) -----------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "sets": [
+                [
+                    set_index,
+                    [
+                        {
+                            "tag": line.tag,
+                            "virtual_base": line.virtual_base,
+                            "physical_base": line.physical_base,
+                            "data": [encode_value(word) for word in line.data],
+                            "sync_bits": list(line.sync_bits),
+                            "valid": line.valid,
+                            "dirty": line.dirty,
+                            "writable": line.writable,
+                            "last_used": line.last_used,
+                        }
+                        for line in ways
+                    ],
+                ]
+                for set_index, ways in self._sets.items()
+            ],
+            "access_counter": self._access_counter,
+            "hits": self.hits,
+            "misses": self.misses,
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._sets = {
+            set_index: [
+                CacheLine(
+                    tag=line["tag"],
+                    virtual_base=line["virtual_base"],
+                    physical_base=line["physical_base"],
+                    data=[decode_value(word) for word in line["data"]],
+                    sync_bits=list(line["sync_bits"]),
+                    valid=line["valid"],
+                    dirty=line["dirty"],
+                    writable=line["writable"],
+                    last_used=line["last_used"],
+                )
+                for line in ways
+            ]
+            for set_index, ways in state["sets"]
+        }
+        self._access_counter = state["access_counter"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.read_hits = state["read_hits"]
+        self.read_misses = state["read_misses"]
+        self.write_hits = state["write_hits"]
+        self.write_misses = state["write_misses"]
+        self.evictions = state["evictions"]
+        self.writebacks = state["writebacks"]
+
     # -- introspection ------------------------------------------------------------
 
     @property

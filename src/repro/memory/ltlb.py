@@ -80,6 +80,40 @@ class Ltlb:
     def invalidate_all(self) -> None:
         self._entries.clear()
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            # LRU order is significant (oldest first, like the OrderedDict).
+            # Entries are stored by value as well as by page number so the
+            # loader can fall back when a page has no LPT entry, but the
+            # normal path re-links the *shared* LPT entry object: the LTLB
+            # caches references, and block-status updates made through the
+            # page table must stay visible after a restore.
+            "entries": [[page, encode_value(entry)]
+                        for page, entry in self._entries.items()],
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+
+    def load_state_dict(self, state: dict, page_table=None) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._entries = OrderedDict()
+        for page, encoded in state["entries"]:
+            entry = page_table.lookup_page(page) if page_table is not None else None
+            if entry is None:
+                entry = decode_value(encoded)
+            self._entries[page] = entry
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.insertions = state["insertions"]
+        self.evictions = state["evictions"]
+
     # -- introspection -----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -553,6 +553,60 @@ class MemorySystem:
             or bool(self._pending)
         )
 
+    # -- snapshot (repro.snapshot state_dict contract) -----------------------
+
+    def state_dict(self) -> dict:
+        """In-flight request state only; the cache, LTLB, page table and
+        SDRAM snapshot themselves (they are shared objects owned by the
+        node)."""
+        from repro.snapshot.values import encode_value
+
+        return {
+            "bank_queues": [
+                [[arrival, encode_value(request)] for arrival, request in queue]
+                for queue in self._bank_queues
+            ],
+            "mif_queue": [[arrival, encode_value(request)]
+                          for arrival, request in self._mif_queue],
+            "mif_busy_until": self._mif_busy_until,
+            "pending": [
+                [pending.ready_cycle, encode_value(pending.response)]
+                for pending in self._pending
+            ],
+            "requests_accepted": self.requests_accepted,
+            "loads": self.loads,
+            "stores": self.stores,
+            "sync_faults": self.sync_faults,
+            "block_status_faults": self.block_status_faults,
+            "ltlb_miss_events": self.ltlb_miss_events,
+            "store_completions": [[req_id, done]
+                                  for req_id, done in self.store_completions.items()],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._bank_queues = [
+            deque((arrival, decode_value(request)) for arrival, request in queue)
+            for queue in state["bank_queues"]
+        ]
+        self._mif_queue = deque(
+            (arrival, decode_value(request)) for arrival, request in state["mif_queue"]
+        )
+        self._mif_busy_until = state["mif_busy_until"]
+        self._pending = [
+            _PendingResponse(ready_cycle=ready_cycle, response=decode_value(response))
+            for ready_cycle, response in state["pending"]
+        ]
+        self.requests_accepted = state["requests_accepted"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
+        self.sync_faults = state["sync_faults"]
+        self.block_status_faults = state["block_status_faults"]
+        self.ltlb_miss_events = state["ltlb_miss_events"]
+        self.store_completions = {req_id: done
+                                  for req_id, done in state["store_completions"]}
+
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """SimComponent contract: the earliest cycle after *cycle* at which a
         tick would do real work -- a bank servicing its head request, the

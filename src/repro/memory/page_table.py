@@ -235,6 +235,29 @@ class LocalPageTable:
             return None
         return entry.status_of(address)
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "entries": [[slot, encode_value(entry)]
+                        for slot, entry in self._entries.items()],
+            "lookups": self.lookups,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the structured table directly, *without* mirroring into
+        the memory image: the SDRAM snapshot already contains the image, and
+        mirroring here would perturb the SDRAM write statistics."""
+        from repro.snapshot.values import decode_value
+
+        self._entries = {slot: decode_value(entry)
+                         for slot, entry in state["entries"]}
+        self.lookups = state["lookups"]
+        self.misses = state["misses"]
+
     # -- introspection -----------------------------------------------------------
 
     def entries(self) -> List[LptEntry]:

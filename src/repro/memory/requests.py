@@ -4,10 +4,10 @@ system over the M-Switch and C-Switch."""
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.ids import IdSource
 from repro.isa.registers import RegisterRef
 
 
@@ -16,7 +16,11 @@ class MemOpKind(enum.Enum):
     STORE = "store"
 
 
-_request_ids = itertools.count()
+#: Fallback allocator for requests constructed outside a machine (tests,
+#: ad-hoc scripts).  Machine-issued requests draw from the machine's own
+#: :class:`~repro.core.ids.IdSource` (passed as an explicit ``req_id``), so
+#: this source never influences simulation state.
+_request_ids = IdSource()
 
 
 @dataclass
@@ -42,7 +46,7 @@ class MemRequest:
     is_fp: bool = False
     #: Cycle at which the operation issued from the cluster.
     issue_cycle: int = 0
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    req_id: int = field(default_factory=_request_ids)
 
     @property
     def is_store(self) -> bool:

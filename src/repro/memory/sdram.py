@@ -161,6 +161,39 @@ class Sdram:
             stored ^= 1 << position
         self._words[address] = stored
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            # Sparse contents: SECDED codewords are stored verbatim, tagged
+            # words (floats, guarded pointers) through the value codec.
+            "words": [[address, encode_value(value)]
+                      for address, value in self._words.items()],
+            "sync_bits": [[address, bit] for address, bit in self._sync_bits.items()],
+            "pointer_tags": [[address, tag] for address, tag in self._pointer_tags.items()],
+            "open_row": self._open_row,
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "corrected_errors": self.corrected_errors,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._words = {address: decode_value(value) for address, value in state["words"]}
+        self._sync_bits = {address: bit for address, bit in state["sync_bits"]}
+        self._pointer_tags = {address: tag for address, tag in state["pointer_tags"]}
+        self._open_row = state["open_row"]
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]
+        self.corrected_errors = state["corrected_errors"]
+
     # -- introspection -----------------------------------------------------------
 
     @property

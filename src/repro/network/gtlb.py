@@ -194,6 +194,18 @@ class GlobalDestinationTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {"entries": [encode_value(entry) for entry in self._entries]}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._entries = [decode_value(entry) for entry in state["entries"]]
+
 
 class Gtlb:
     """The per-node GTLB: a small fully-associative cache of GDT entries.
@@ -238,3 +250,26 @@ class Gtlb:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            # MRU-first order is significant (move-to-front LRU).  GtlbEntry
+            # is a frozen value type, so equal entries are interchangeable
+            # and no identity with the GDT needs restoring.
+            "entries": [encode_value(entry) for entry in self._entries],
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._entries = [decode_value(entry) for entry in state["entries"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.fills = state["fills"]

@@ -38,6 +38,7 @@ class NetworkInterface:
         queue_p0: HardwareQueue,
         queue_p1: HardwareQueue,
         tracer=None,
+        message_ids=None,
     ):
         self.node_id = node_id
         self.config = config
@@ -45,6 +46,12 @@ class NetworkInterface:
         self.gtlb = gtlb
         self.queues = {0: queue_p0, 1: queue_p1}
         self.tracer = tracer
+        #: Message-id allocator, shared machine-wide so numbering is
+        #: per-machine deterministic (falls back to the module source for
+        #: interfaces built standalone in tests).
+        if message_ids is None:
+            from repro.network.message import _message_ids as message_ids
+        self.message_ids = message_ids
         #: Send credits: return-buffer slots reserved for unacknowledged
         #: priority-0 messages.
         self.credits = config.send_credits
@@ -156,6 +163,7 @@ class NetworkInterface:
             dest_address=address_word,
             body=list(body),
             send_cycle=cycle,
+            msg_id=self.message_ids(),
         )
         deliver_cycle = self.mesh.inject(message, cycle)
         self.messages_sent += 1
@@ -206,6 +214,7 @@ class NetworkInterface:
             priority=1,
             send_cycle=cycle,
             returned=returned,
+            msg_id=self.message_ids(),
         )
         self.mesh.inject(reply, cycle)
 
@@ -239,3 +248,42 @@ class NetworkInterface:
     @property
     def credits_in_use(self) -> int:
         return self.config.send_credits - self.credits
+
+    # -- snapshot (repro.snapshot state_dict contract) ---------------------------
+
+    def state_dict(self) -> dict:
+        """The message queues themselves snapshot with the node (they are the
+        node's register-mapped queues); this covers the interface's own
+        state: credits, the DIP allow-list and the retransmission buffer."""
+        from repro.snapshot.values import encode_optional_set, encode_value
+
+        return {
+            "credits": self.credits,
+            "allowed_dips": encode_optional_set(self.allowed_dips),
+            "retransmit": [[retry_cycle, encode_value(message)]
+                           for retry_cycle, message in self._retransmit],
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "acks_received": self.acks_received,
+            "nacks_received": self.nacks_received,
+            "retransmissions": self.retransmissions,
+            "enqueue_rejections": self.enqueue_rejections,
+            "send_stall_cycles": self.send_stall_cycles,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_optional_set, decode_value
+
+        self.credits = state["credits"]
+        self.allowed_dips = decode_optional_set(state["allowed_dips"])
+        self._retransmit = [
+            (retry_cycle, decode_value(message))
+            for retry_cycle, message in state["retransmit"]
+        ]
+        self.messages_sent = state["messages_sent"]
+        self.messages_received = state["messages_received"]
+        self.acks_received = state["acks_received"]
+        self.nacks_received = state["nacks_received"]
+        self.retransmissions = state["retransmissions"]
+        self.enqueue_rejections = state["enqueue_rejections"]
+        self.send_stall_cycles = state["send_stall_cycles"]

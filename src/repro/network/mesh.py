@@ -149,6 +149,36 @@ class MeshNetwork:
                 remaining.append(flight)
         self._in_flight = remaining
 
+    # -- snapshot (repro.snapshot state_dict contract) -----------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "in_flight": [[encode_value(flight.message), flight.deliver_cycle]
+                          for flight in self._in_flight],
+            "link_free": [[list(link), free] for link, free in self._link_free.items()],
+            "messages_injected": self.messages_injected,
+            "messages_delivered": self.messages_delivered,
+            "total_latency": self.total_latency,
+            "total_hops": self.total_hops,
+            "link_contention_cycles": self.link_contention_cycles,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self._in_flight = [
+            _InFlight(message=decode_value(message), deliver_cycle=deliver_cycle)
+            for message, deliver_cycle in state["in_flight"]
+        ]
+        self._link_free = {tuple(link): free for link, free in state["link_free"]}
+        self.messages_injected = state["messages_injected"]
+        self.messages_delivered = state["messages_delivered"]
+        self.total_latency = state["total_latency"]
+        self.total_hops = state["total_hops"]
+        self.link_contention_cycles = state["link_contention_cycles"]
+
     # -- introspection -----------------------------------------------------------
 
     @property

@@ -20,9 +20,10 @@ replies of the return-to-sender throttling protocol.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from repro.core.ids import IdSource
 
 
 class MessageKind(enum.Enum):
@@ -37,7 +38,11 @@ class MessageKind(enum.Enum):
     NACK = "nack"
 
 
-_message_ids = itertools.count()
+#: Fallback allocator for messages constructed outside a machine (tests,
+#: ad-hoc scripts).  Machine-injected messages draw from the machine's own
+#: :class:`~repro.core.ids.IdSource` (passed as an explicit ``msg_id``), so
+#: this source never influences simulation state.
+_message_ids = IdSource()
 
 
 @dataclass
@@ -59,7 +64,7 @@ class Message:
     send_cycle: int = 0
     #: For NACKs: the returned original message.
     returned: Optional["Message"] = None
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    msg_id: int = field(default_factory=_message_ids)
 
     @property
     def queue_words(self) -> List[object]:

@@ -66,6 +66,8 @@ class Node:
         mesh: MeshNetwork,
         gdt: GlobalDestinationTable,
         tracer=None,
+        request_ids=None,
+        message_ids=None,
     ):
         self.node_id = node_id
         self.coords = coords
@@ -73,6 +75,12 @@ class Node:
         self.mesh = mesh
         self.tracer = tracer
         self.protection_enabled = config.runtime.protection_enabled
+        #: Memory-request id allocator, shared machine-wide so numbering is
+        #: per-machine deterministic (falls back to the module source for
+        #: nodes built standalone in tests).
+        if request_ids is None:
+            from repro.memory.requests import _request_ids as request_ids
+        self.request_ids = request_ids
 
         memory_config = config.memory
         node_config = config.node
@@ -153,6 +161,7 @@ class Node:
             self.msg_queue_p0,
             self.msg_queue_p1,
             tracer=tracer,
+            message_ids=message_ids,
         )
 
         # --- execution ------------------------------------------------------------
@@ -513,6 +522,73 @@ class Node:
     @property
     def user_threads_finished(self) -> bool:
         return all(cluster.user_threads_finished for cluster in self.clusters)
+
+    # ------------------------------------------------------------------ snapshot
+    #
+    # The node's half of the repro.snapshot state_dict contract: capture (and
+    # restore) every piece of mutable state in construction-independent form.
+    # Restore order matters in exactly one place: the page table is loaded
+    # before the LTLB so the LTLB re-links the *shared* LptEntry objects, and
+    # before the SDRAM so the memory image comes from the snapshot rather
+    # than from re-mirroring.
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "sdram": self.sdram.state_dict(),
+            "cache": self.cache.state_dict(),
+            "page_table": self.page_table.state_dict(),
+            "ltlb": self.ltlb.state_dict(),
+            "memory": self.memory.state_dict(),
+            "gtlb": self.gtlb.state_dict(),
+            "net": self.net.state_dict(),
+            "cswitch": self.cswitch.state_dict(),
+            "event_queue_sync": self.event_queue_sync.state_dict(),
+            "event_queue_ltlb": self.event_queue_ltlb.state_dict(),
+            "msg_queue_p0": self.msg_queue_p0.state_dict(),
+            "msg_queue_p1": self.msg_queue_p1.state_dict(),
+            "exception_queues": [queue.state_dict() for queue in self.exception_queues],
+            "pending_events": [[at_cycle, encode_value(record)]
+                               for at_cycle, record in self._pending_events],
+            "clusters": [cluster.state_dict() for cluster in self.clusters],
+            "native_handlers": [handler.state_dict() for handler in self.native_handlers],
+            "next_frame": self._next_frame,
+            "events_enqueued": self.events_enqueued,
+            "instructions_last_cycle": self.instructions_last_cycle,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import SnapshotError, decode_value
+
+        self.page_table.load_state_dict(state["page_table"])
+        self.ltlb.load_state_dict(state["ltlb"], page_table=self.page_table)
+        self.sdram.load_state_dict(state["sdram"])
+        self.cache.load_state_dict(state["cache"])
+        self.memory.load_state_dict(state["memory"])
+        self.gtlb.load_state_dict(state["gtlb"])
+        self.net.load_state_dict(state["net"])
+        self.cswitch.load_state_dict(state["cswitch"])
+        self.event_queue_sync.load_state_dict(state["event_queue_sync"])
+        self.event_queue_ltlb.load_state_dict(state["event_queue_ltlb"])
+        self.msg_queue_p0.load_state_dict(state["msg_queue_p0"])
+        self.msg_queue_p1.load_state_dict(state["msg_queue_p1"])
+        for queue, queue_state in zip(self.exception_queues, state["exception_queues"]):
+            queue.load_state_dict(queue_state)
+        self._pending_events = [(at_cycle, decode_value(record))
+                                for at_cycle, record in state["pending_events"]]
+        for cluster, cluster_state in zip(self.clusters, state["clusters"]):
+            cluster.load_state_dict(cluster_state)
+        if len(state["native_handlers"]) != len(self.native_handlers):
+            raise SnapshotError(
+                f"node {self.node_id}: snapshot has {len(state['native_handlers'])} "
+                f"native handlers, machine has {len(self.native_handlers)}"
+            )
+        for handler, handler_state in zip(self.native_handlers, state["native_handlers"]):
+            handler.load_state_dict(handler_state)
+        self._next_frame = state["next_frame"]
+        self.events_enqueued = state["events_enqueued"]
+        self.instructions_last_cycle = state["instructions_last_cycle"]
 
     # ------------------------------------------------------------------ statistics
 

@@ -356,6 +356,122 @@ class CoherenceRuntime:
             "dirty_writebacks": self.dirty_writebacks,
         }
 
+    # -- snapshot (repro.snapshot state_dict contract) -------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        return {
+            "directories": [
+                [
+                    node_id,
+                    [
+                        [
+                            block_va,
+                            {
+                                "sharers": sorted(entry.sharers),
+                                "owner": entry.owner,
+                                "busy": entry.busy,
+                                "queue": [
+                                    [requester, mode,
+                                     [encode_value(request) for request in requests]]
+                                    for requester, mode, requests in entry.queue
+                                ],
+                            },
+                        ]
+                        for block_va, entry in directory.items()
+                    ],
+                ]
+                for node_id, directory in self.directories.items()
+            ],
+            "pending_grants": [
+                [
+                    node_id,
+                    [
+                        [
+                            block_va,
+                            {
+                                "requester": grant.requester,
+                                "mode": grant.mode,
+                                "acks_needed": grant.acks_needed,
+                                "local_requests": [encode_value(request)
+                                                   for request in grant.local_requests],
+                            },
+                        ]
+                        for block_va, grant in grants.items()
+                    ],
+                ]
+                for node_id, grants in self.pending_grants.items()
+            ],
+            "pending_fetches": [
+                [
+                    node_id,
+                    [
+                        [
+                            block_va,
+                            {
+                                "mode": fetch.mode,
+                                "requests": [encode_value(request)
+                                             for request in fetch.requests],
+                            },
+                        ]
+                        for block_va, fetch in fetches.items()
+                    ],
+                ]
+                for node_id, fetches in self.pending_fetches.items()
+            ],
+            "block_fetches": self.block_fetches,
+            "write_upgrades": self.write_upgrades,
+            "invalidations": self.invalidations,
+            "dirty_writebacks": self.dirty_writebacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        self.directories = {
+            node_id: {
+                block_va: DirectoryEntry(
+                    sharers=set(entry["sharers"]),
+                    owner=entry["owner"],
+                    busy=entry["busy"],
+                    queue=[
+                        (requester, mode, [decode_value(request) for request in requests])
+                        for requester, mode, requests in entry["queue"]
+                    ],
+                )
+                for block_va, entry in directory
+            }
+            for node_id, directory in state["directories"]
+        }
+        self.pending_grants = {
+            node_id: {
+                block_va: PendingGrant(
+                    requester=grant["requester"],
+                    mode=grant["mode"],
+                    acks_needed=grant["acks_needed"],
+                    local_requests=[decode_value(request)
+                                    for request in grant["local_requests"]],
+                )
+                for block_va, grant in grants
+            }
+            for node_id, grants in state["pending_grants"]
+        }
+        self.pending_fetches = {
+            node_id: {
+                block_va: PendingFetch(
+                    mode=fetch["mode"],
+                    requests=[decode_value(request) for request in fetch["requests"]],
+                )
+                for block_va, fetch in fetches
+            }
+            for node_id, fetches in state["pending_fetches"]
+        }
+        self.block_fetches = state["block_fetches"]
+        self.write_upgrades = state["write_upgrades"]
+        self.invalidations = state["invalidations"]
+        self.dirty_writebacks = state["dirty_writebacks"]
+
 
 class _BlockStatusCallback:
     """Adapter: plugs the coherence requester logic into the generic
@@ -411,6 +527,15 @@ class CoherentLtlbHandler(EventNativeHandler):
         if request is not None:
             node.memory.submit(request, cycle + cost)
         return cost
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["remote_pages_mapped"] = self.remote_pages_mapped
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.remote_pages_mapped = state["remote_pages_mapped"]
 
 
 class CoherentRequestHandler(MessageNativeHandler):

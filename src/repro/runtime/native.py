@@ -93,6 +93,32 @@ class NativeHandler:
     def trace(self, cycle: int, category: str, **info) -> None:
         self.node.trace(cycle, category, handler=self.name, **info)
 
+    # -- snapshot (repro.snapshot state_dict contract) -------------------------
+    #
+    # Handlers are rebuilt structurally when the runtime is reinstalled on a
+    # restored machine; only their mutable state is captured here.  Handlers
+    # that buffer deferred work extend these dicts.
+
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "busy_until": self.busy_until,
+            "invocations": self.invocations,
+            "cycles_busy": self.cycles_busy,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["name"] != self.name:
+            from repro.snapshot.values import SnapshotError
+
+            raise SnapshotError(
+                f"native-handler mismatch: snapshot has {state['name']!r}, "
+                f"machine has {self.name!r} (runtime layout changed?)"
+            )
+        self.busy_until = state["busy_until"]
+        self.invocations = state["invocations"]
+        self.cycles_busy = state["cycles_busy"]
+
 
 class EventNativeHandler(NativeHandler):
     """A native handler that consumes :class:`EventRecord` objects."""
@@ -164,6 +190,15 @@ class MessageNativeHandler(NativeHandler):
     def handle_message(self, dip: int, address: int, body: List[object], cycle: int) -> int:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["unknown_dips"] = self.unknown_dips
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.unknown_dips = state["unknown_dips"]
+
 
 class SyncStatusFaultHandler(EventNativeHandler):
     """Default handler for the cluster-0 event queue (memory-synchronizing
@@ -222,3 +257,20 @@ class SyncStatusFaultHandler(EventNativeHandler):
                 f"but no coherence runtime is installed (shared_memory_mode='remote')"
             )
         raise RuntimeError(f"unexpected event {record} on the sync/status queue")
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        state = super().state_dict()
+        state["retries"] = self.retries
+        state["deferred"] = [[retry_at, encode_value(request)]
+                             for retry_at, request in self._deferred]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        super().load_state_dict(state)
+        self.retries = state["retries"]
+        self._deferred = [(retry_at, decode_value(request))
+                          for retry_at, request in state["deferred"]]

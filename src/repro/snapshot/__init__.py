@@ -1,0 +1,76 @@
+"""Deterministic checkpoint/restore of complete machine state.
+
+The subsystem has four layers:
+
+* :mod:`repro.snapshot.values` -- a tagged JSON codec for every value the
+  simulator can hold (guarded pointers, event records, in-flight messages,
+  memory requests, register writes, assembled programs, ...);
+* :mod:`repro.snapshot.format` -- the versioned, self-describing snapshot
+  document (schema version + complete ``MachineConfig`` + machine state)
+  and its atomic file I/O;
+* :mod:`repro.snapshot.checkpoint` -- periodic ``--checkpoint-every``
+  checkpointing and resume-on-restart for workload runs;
+* :mod:`repro.snapshot.warmstart` -- fan one checkpointed post-warm-up
+  state out to multiple measurement runs.
+
+The state itself is captured through the uniform ``state_dict()`` /
+``load_state_dict()`` contract implemented by every stateful component (see
+:mod:`repro.core.component`); ``MMachine.save_snapshot`` /
+``MMachine.from_snapshot`` are the top-level entry points, re-exported here
+as :func:`save` / :func:`restore`.
+
+Restore is bit-exact: running to cycle C, snapshotting, restoring in a fresh
+process and running to completion produces the same final cycle count,
+statistics and trace as the uninterrupted run, under both the ``event`` and
+``naive`` kernels (``tests/integration/test_snapshot_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.snapshot.checkpoint import (
+    CheckpointPolicy,
+    SnapshotTaken,
+    checkpoint_context,
+)
+from repro.snapshot.format import (
+    ConfigMismatchError,
+    SNAPSHOT_SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.snapshot.values import SnapshotError, decode_value, encode_value
+from repro.snapshot.warmstart import fan_out, fan_out_parallel
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotError",
+    "ConfigMismatchError",
+    "SnapshotTaken",
+    "CheckpointPolicy",
+    "checkpoint_context",
+    "config_to_dict",
+    "config_from_dict",
+    "encode_value",
+    "decode_value",
+    "read_snapshot",
+    "write_snapshot",
+    "fan_out",
+    "fan_out_parallel",
+    "save",
+    "restore",
+]
+
+
+def save(machine, path: str) -> str:
+    """Snapshot *machine* to *path* (``MMachine.save_snapshot``)."""
+    return machine.save_snapshot(path)
+
+
+def restore(source):
+    """Rebuild a machine from a snapshot path or document
+    (``MMachine.from_snapshot``)."""
+    from repro.core.machine import MMachine
+
+    return MMachine.from_snapshot(source)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import shutil
 import sys
 import time
 import traceback
@@ -34,6 +35,7 @@ from repro.workloads import factories
 
 RESULTS_FILENAME = "sweep-results.json"
 RUNS_DIRNAME = "runs"
+CHECKPOINTS_DIRNAME = "checkpoints"
 
 VERIFICATION_FAILED = "workload verification failed"
 
@@ -72,19 +74,38 @@ def store_record(record: Dict[str, object], directory: str) -> str:
     return path
 
 
-def execute_run(spec: RunSpec) -> Dict[str, object]:
+def execute_run(
+    spec: RunSpec,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+) -> Dict[str, object]:
     """Execute one run in-process and return its (schema-valid) record.
 
     Record construction is inside the try as well: a factory returning
     schema-invalid metrics (e.g. a non-scalar value) yields a failed record
     like any other workload error, not an aborted sweep.
+
+    With ``checkpoint_every`` set, the workload's machines snapshot to
+    ``checkpoint_dir`` every N simulated cycles and a re-execution after an
+    interruption resumes from the latest checkpoint instead of from cycle 0
+    (:mod:`repro.snapshot.checkpoint`).  Once the run produces a record the
+    checkpoints are deleted -- they only serve killed runs.
     """
     start = time.perf_counter()
+    resumed_from = None
     try:
-        metrics = factories.run_workload(spec.workload, spec.params)
-        return record_from_metrics(spec, metrics, time.perf_counter() - start)
+        if checkpoint_every is not None and checkpoint_dir is not None:
+            from repro.snapshot.checkpoint import checkpoint_context
+
+            with checkpoint_context(checkpoint_dir, every=checkpoint_every) as policy:
+                metrics = factories.run_workload(spec.workload, spec.params)
+            if policy.resumes:
+                resumed_from = policy.resumes[0][1]
+        else:
+            metrics = factories.run_workload(spec.workload, spec.params)
+        record = record_from_metrics(spec, metrics, time.perf_counter() - start)
     except Exception:
-        return make_record(
+        record = make_record(
             run_id=spec.run_id,
             workload=spec.workload,
             params=spec.params,
@@ -94,11 +115,21 @@ def execute_run(spec: RunSpec) -> Dict[str, object]:
             error=traceback.format_exc(limit=20),
             tags=spec.tags,
         )
+    if resumed_from is not None:
+        record["tags"] = dict(record.get("tags") or {})
+        record["tags"]["resumed_from_cycle"] = str(resumed_from)
+    if checkpoint_dir is not None:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    return record
 
 
-def _pool_worker(spec_dict: Dict[str, object]) -> Dict[str, object]:
+def _pool_worker(payload: Dict[str, object]) -> Dict[str, object]:
     """Top-level (picklable) pool entry point."""
-    return execute_run(RunSpec.from_dict(spec_dict))
+    return execute_run(
+        RunSpec.from_dict(payload["spec"]),
+        checkpoint_dir=payload.get("checkpoint_dir"),
+        checkpoint_every=payload.get("checkpoint_every"),
+    )
 
 
 @dataclass
@@ -130,12 +161,16 @@ class SweepRunner:
         jobs: int = 1,
         force: bool = False,
         log: Optional[Callable[[str], None]] = None,
+        checkpoint_every: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint interval must be a positive cycle count")
         self.results_dir = results_dir
         self.jobs = jobs
         self.force = force
+        self.checkpoint_every = checkpoint_every
         self._log = log if log is not None else self._default_log
 
     @staticmethod
@@ -146,6 +181,11 @@ class SweepRunner:
 
     def _run_path(self, run_id: str) -> str:
         return os.path.join(self.results_dir, RUNS_DIRNAME, run_id + ".json")
+
+    def _checkpoint_dir(self, run_id: str) -> Optional[str]:
+        if self.checkpoint_every is None:
+            return None
+        return os.path.join(self.results_dir, CHECKPOINTS_DIRNAME, run_id)
 
     def _load_completed(self, run_id: str) -> Optional[Dict[str, object]]:
         """The existing record for *run_id*, if it is valid and ok."""
@@ -236,6 +276,9 @@ class SweepRunner:
             status = record["status"]
             cycles = record["metrics"].get("cycles")
             detail = f"cycles={cycles}" if cycles is not None else "analytic"
+            resumed = (record.get("tags") or {}).get("resumed_from_cycle")
+            if resumed is not None:
+                detail += f", resumed from cycle {resumed}"
             self._log(
                 f"[{done}/{total_runs}] {record['run_id']}: {status} "
                 f"({detail}, {record['wall_seconds']:.2f}s)"
@@ -243,12 +286,23 @@ class SweepRunner:
 
         if self.jobs == 1:
             for spec in pending:
-                record = execute_run(spec)
+                record = execute_run(
+                    spec,
+                    checkpoint_dir=self._checkpoint_dir(spec.run_id),
+                    checkpoint_every=self.checkpoint_every,
+                )
                 note(record)
                 records.append(record)
             return records
 
-        payloads = [spec.to_dict() for spec in pending]
+        payloads = [
+            {
+                "spec": spec.to_dict(),
+                "checkpoint_dir": self._checkpoint_dir(spec.run_id),
+                "checkpoint_every": self.checkpoint_every,
+            }
+            for spec in pending
+        ]
         with multiprocessing.Pool(processes=self.jobs) as pool:
             for record in pool.imap_unordered(_pool_worker, payloads):
                 note(record)

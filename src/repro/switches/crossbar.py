@@ -153,6 +153,48 @@ class Crossbar:
         arbitration after a sleep must match the naive loop exactly)."""
         self._rr_pointer = (self._rr_pointer + cycles) % self.num_outputs
 
+    # -- snapshot (repro.snapshot state_dict contract) -----------------------------
+
+    def state_dict(self) -> dict:
+        from repro.snapshot.values import encode_value
+
+        def encode_queue(queue):
+            return [
+                {"dest": t.dest, "payload": encode_value(t.payload),
+                 "ready_cycle": t.ready_cycle}
+                for t in queue
+            ]
+
+        return {
+            "queues": [[dest, encode_queue(queue)]
+                       for dest, queue in self._queues.items()],
+            "broadcast": encode_queue(self._broadcast_queue),
+            "rr_pointer": self._rr_pointer,
+            "transfers_submitted": self.transfers_submitted,
+            "transfers_delivered": self.transfers_delivered,
+            "contention_stalls": self.contention_stalls,
+            "busiest_cycle_transfers": self.busiest_cycle_transfers,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.snapshot.values import decode_value
+
+        def decode_queue(encoded):
+            return deque(
+                Transfer(dest=t["dest"], payload=decode_value(t["payload"]),
+                         ready_cycle=t["ready_cycle"])
+                for t in encoded
+            )
+
+        for dest, queue in state["queues"]:
+            self._queues[dest] = decode_queue(queue)
+        self._broadcast_queue = decode_queue(state["broadcast"])
+        self._rr_pointer = state["rr_pointer"]
+        self.transfers_submitted = state["transfers_submitted"]
+        self.transfers_delivered = state["transfers_delivered"]
+        self.contention_stalls = state["contention_stalls"]
+        self.busiest_cycle_transfers = state["busiest_cycle_transfers"]
+
     # -- introspection -----------------------------------------------------------
 
     @property

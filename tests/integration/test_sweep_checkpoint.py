@@ -1,0 +1,138 @@
+"""Checkpointed sweeps: interrupted runs resume mid-run, not from cycle 0."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.snapshot.checkpoint import SnapshotTaken, checkpoint_context
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import AxesGroup, RunSpec, SweepSpec
+from repro.workloads import factories
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+PARAMS = {"rounds": 12}
+RUN = RunSpec(workload="ping-pong", params=PARAMS)
+SPEC = SweepSpec(
+    name="checkpointed",
+    groups=[AxesGroup("ping-pong", params=dict(PARAMS))],
+)
+
+
+def _interrupt_run(checkpoint_dir: str, at_cycle: int) -> None:
+    """Produce the on-disk state of a run killed at *at_cycle*: a checkpoint
+    file, no result record."""
+    with checkpoint_context(checkpoint_dir, snapshot_at=at_cycle,
+                            stop_after_snapshot=True):
+        with pytest.raises(SnapshotTaken):
+            factories.run_workload(RUN.workload, RUN.params)
+
+
+class TestRunnerResume:
+    def test_resumes_from_checkpoint_not_cycle_zero(self, tmp_path):
+        reference = factories.run_workload(RUN.workload, RUN.params)
+
+        results_dir = str(tmp_path / "results")
+        checkpoint_dir = os.path.join(results_dir, "checkpoints", RUN.run_id)
+        _interrupt_run(checkpoint_dir, at_cycle=200)
+        assert os.listdir(checkpoint_dir), "interruption left no checkpoint"
+
+        logs = []
+        runner = SweepRunner(results_dir, checkpoint_every=100, log=logs.append)
+        result = runner.run(SPEC)
+        assert result.ok
+        record = result.records[0]
+        assert record["metrics"] == reference
+        assert record["tags"]["resumed_from_cycle"] == "200"
+        assert any("resumed from cycle 200" in line for line in logs)
+
+    def test_checkpoints_are_removed_after_completion(self, tmp_path):
+        results_dir = str(tmp_path / "results")
+        runner = SweepRunner(results_dir, checkpoint_every=50, log=lambda _: None)
+        result = runner.run(SPEC)
+        assert result.ok
+        checkpoint_dir = os.path.join(results_dir, "checkpoints", RUN.run_id)
+        assert not os.path.exists(checkpoint_dir)
+
+    def test_checkpointing_does_not_change_results(self, tmp_path):
+        reference = factories.run_workload(RUN.workload, RUN.params)
+        runner = SweepRunner(str(tmp_path / "results"), checkpoint_every=40,
+                             log=lambda _: None)
+        result = runner.run(SPEC)
+        assert result.ok
+        assert result.records[0]["metrics"] == reference
+
+    def test_rejects_non_positive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(str(tmp_path), checkpoint_every=0)
+
+
+class TestKillAndResume:
+    """The real thing: a sweep subprocess is SIGKILLed mid-run and a second
+    invocation finishes from the latest mid-run checkpoint."""
+
+    ROUNDS = 1200
+    CHECKPOINT_EVERY = 4000
+    SPEC_DOC = {
+        "name": "kill-resume",
+        "groups": [{"workload": "ping-pong", "params": {"rounds": ROUNDS}}],
+    }
+
+    def test_kill_and_resume(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC_DOC))
+        results_dir = str(tmp_path / "results")
+        checkpoints_root = os.path.join(results_dir, "checkpoints")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [
+            sys.executable, "-m", "repro.cli", "sweep",
+            "--spec-file", str(spec_path),
+            "--results-dir", results_dir,
+            "--checkpoint-every", str(self.CHECKPOINT_EVERY),
+        ]
+
+        process = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL,
+                                   stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if any(
+                    name.endswith(".json")
+                    for _, _, names in os.walk(checkpoints_root)
+                    for name in names
+                ):
+                    break
+                if process.poll() is not None:
+                    pytest.fail("sweep finished before a checkpoint appeared; "
+                                "increase ROUNDS")
+                time.sleep(0.02)
+            else:
+                pytest.fail("no checkpoint appeared within the deadline")
+            process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=60)
+
+        # No result record was produced by the killed run.
+        runs_dir = os.path.join(results_dir, "runs")
+        assert not os.path.exists(runs_dir) or not os.listdir(runs_dir)
+
+        logs = []
+        runner = SweepRunner(results_dir, checkpoint_every=self.CHECKPOINT_EVERY,
+                             log=logs.append)
+        spec = SweepSpec.from_dict(self.SPEC_DOC)
+        result = runner.run(spec)
+        assert result.ok
+
+        record = result.records[0]
+        resumed_from = int(record["tags"]["resumed_from_cycle"])
+        assert resumed_from >= self.CHECKPOINT_EVERY, "resume started from cycle 0"
+
+        reference = factories.run_workload("ping-pong", {"rounds": self.ROUNDS})
+        assert record["metrics"] == reference

@@ -1,0 +1,122 @@
+"""The trace-category contract.
+
+``repro.core.trace`` documents its categories as a stable interface (the
+Figure 9 timelines and several analyses are computed from them).  These
+tests pin the contract down from both directions:
+
+* every category a representative workload mix emits must be documented in
+  :data:`repro.core.trace.TRACE_CATEGORIES`, and
+* every documented category must actually be exercised by the mix -- a
+  category nothing can emit any more is as much a contract break as an
+  undocumented one.
+"""
+
+import pytest
+
+from repro import MMachine, MachineConfig
+from repro.core.trace import HANDLER_CATEGORY_PREFIX, TRACE_CATEGORIES
+
+HEAP = 0x10000
+REGION = 0x40000
+
+
+def _collect(machine: MMachine) -> set:
+    return {event.category for event in machine.tracer.events}
+
+
+def _machine(mesh=(2, 1, 1), mode="remote", **overrides) -> MMachine:
+    config = MachineConfig.small(*mesh)
+    config.runtime.shared_memory_mode = mode
+    for key, value in overrides.items():
+        section, _, attr = key.partition(".")
+        setattr(getattr(config, section), attr, value)
+    return MMachine(config)
+
+
+@pytest.fixture(scope="module")
+def emitted_categories() -> set:
+    """Union of categories from a workload mix chosen to reach every
+    documented category."""
+    categories = set()
+
+    # Remote reads through the Section 4.2 runtime: mem_issue, cache paths,
+    # ltlb_miss, event_enqueue, send, msg_*, xregwr, reg_write, halt, ...
+    machine = _machine()
+    machine.map_on_node(1, REGION, num_pages=1)
+    machine.write_word(REGION, 7)
+    machine.load_hthread(
+        0, 0, 0,
+        "ld i4, i1\nmark i4\nst i4, i2\nhalt",
+        registers={"i1": REGION, "i2": REGION + 1},
+    )
+    machine.run_until_user_done(max_cycles=50_000)
+    categories |= _collect(machine)
+
+    # Synchronizing-fault retry (handler_dispatch / handler_sync_retry /
+    # sync_fault): a consuming load on an empty word, satisfied later.
+    machine = _machine(mesh=(1, 1, 1))
+    machine.map_on_node(0, HEAP, num_pages=1)
+    machine.write_word(HEAP, 0, sync_bit=0)
+    machine.load_hthread(0, 0, 0, "ld.fe i4, i1\nhalt", registers={"i1": HEAP})
+    machine.load_hthread(
+        0, 1, 0, "st.ef i5, i1\nhalt", registers={"i1": HEAP, "i5": 9}
+    )
+    machine.run_until_user_done(max_cycles=50_000)
+    categories |= _collect(machine)
+
+    # Coherence runtime (block_status_fault + handler traffic).
+    machine = _machine(mode="coherent")
+    machine.map_on_node(1, REGION, num_pages=1)
+    machine.write_word(REGION, 3)
+    machine.load_hthread(0, 0, 0, "ld i4, i1\nhalt", registers={"i1": REGION})
+    machine.run_until_user_done(max_cycles=50_000)
+    categories |= _collect(machine)
+
+    # Several producers flooding one undersized queue: msg_reject, msg_nack,
+    # msg_retransmit.
+    from repro.workloads.synthetic import many_to_one_store_programs
+
+    machine = _machine(mesh=(2, 2, 1), **{
+        "network.message_queue_words": 6,
+        "network.retransmit_interval": 16,
+    })
+    machine.map_on_node(0, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    for sender, program in many_to_one_store_programs(3, 8, REGION, dip).items():
+        machine.load_hthread(sender + 1, 0, 0, program)
+    machine.run_until_user_done(max_cycles=400_000)
+    categories |= _collect(machine)
+
+    # A synchronous protection exception.
+    machine = _machine(mesh=(1, 1, 1))
+    machine.load_hthread(0, 0, 0, "xregwr i1, i2\nhalt",
+                         registers={"i1": 0, "i2": 0})
+    machine.run(200)
+    categories |= _collect(machine)
+
+    return categories
+
+
+def test_every_emitted_category_is_documented(emitted_categories):
+    undocumented = emitted_categories - TRACE_CATEGORIES
+    assert not undocumented, (
+        f"trace categories emitted but not documented in "
+        f"repro.core.trace: {sorted(undocumented)}"
+    )
+
+
+def test_every_documented_category_is_exercised(emitted_categories):
+    unexercised = TRACE_CATEGORIES - emitted_categories
+    assert not unexercised, (
+        f"documented trace categories the workload mix never emitted "
+        f"(dead documentation or missing coverage): {sorted(unexercised)}"
+    )
+
+
+def test_handler_categories_use_the_documented_prefix(emitted_categories):
+    handler_categories = {
+        category for category in emitted_categories
+        if category.startswith(HANDLER_CATEGORY_PREFIX)
+    }
+    assert handler_categories, "workload mix exercised no handler categories"
+    assert handler_categories <= TRACE_CATEGORIES

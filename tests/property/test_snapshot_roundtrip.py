@@ -1,0 +1,86 @@
+"""Property test: snapshot round-trip at a random cycle of a random
+synthetic workload is bit-exact versus the uninterrupted run.
+
+Hypothesis draws the machine shape, the clock driver, the workload mix
+(remote-store traffic plus compute loops plus optional remote reads) and the
+snapshot point; for every draw, running to C, snapshotting, restoring from
+the JSON document and running to completion must reproduce the uninterrupted
+run's final cycle, complete statistics and trace."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MMachine, MachineConfig
+from repro.workloads.microbench import compute_loop_program
+from repro.workloads.synthetic import remote_store_sender_program
+
+REGION = 0x40000
+MAX_CYCLES = 300_000
+
+workloads = st.fixed_dictionaries({
+    "mesh": st.sampled_from([(2, 1, 1), (2, 2, 1)]),
+    "kernel": st.sampled_from(["event", "naive"]),
+    "messages": st.integers(min_value=1, max_value=10),
+    "iterations": st.integers(min_value=1, max_value=40),
+    "remote_reads": st.integers(min_value=0, max_value=4),
+    "snapshot_fraction": st.floats(min_value=0.05, max_value=0.7),
+})
+
+
+def _build(params) -> MMachine:
+    config = MachineConfig.small(*params["mesh"])
+    config.sim.kernel = params["kernel"]
+    machine = MMachine(config)
+    far = machine.num_nodes - 1
+    machine.map_on_node(far, REGION, num_pages=1)
+    machine.write_word(REGION, 5)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(
+        0, 0, 0, remote_store_sender_program(REGION + 8, dip, params["messages"])
+    )
+    machine.load_hthread(0, 1, 1, compute_loop_program(params["iterations"]))
+    if params["remote_reads"]:
+        machine.load_hthread(
+            0, 2, 0,
+            f"""
+            mov i3, #0
+            mov i5, #0
+    loop:   ld i4, i1
+            add i5, i5, i4
+            add i3, i3, #1
+            lt i6, i3, #{params["remote_reads"]}
+            br i6, loop
+            halt
+            """,
+            registers={"i1": REGION},
+        )
+    return machine
+
+
+def _report(machine: MMachine) -> dict:
+    stats = machine.stats()
+    return json.loads(json.dumps({
+        "cycle": machine.cycle,
+        "summary": stats.summary(),
+        "node_stats": stats.node_stats,
+        "trace": [str(event) for event in machine.tracer.events],
+    }))
+
+
+@settings(max_examples=8, deadline=None)
+@given(workloads)
+def test_random_cycle_snapshot_is_bit_exact(params):
+    reference = _build(params)
+    reference.run_until_user_done(max_cycles=MAX_CYCLES)
+    expected = _report(reference)
+
+    snapshot_cycle = max(1, int(expected["cycle"] * params["snapshot_fraction"]))
+    machine = _build(params)
+    machine.run(snapshot_cycle)
+    document = json.loads(json.dumps(machine.snapshot_document()))
+
+    restored = MMachine.from_snapshot(document)
+    assert restored.cycle == snapshot_cycle
+    restored.run_until_user_done(max_cycles=MAX_CYCLES)
+    assert _report(restored) == expected

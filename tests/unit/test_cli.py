@@ -158,3 +158,92 @@ class TestValidateCommand:
                            {"schema_version": SCHEMA_VERSION, "runs": [record]})
         assert main(["validate", path]) == 1
         assert main(["validate", path, "--allow-failed"]) == 0
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_info_dumps_default_config_as_json(self, capsys):
+        assert main(["info"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        defaults = payload["defaults"]
+        assert defaults["mesh_shape"] == [2, 2, 2]
+        assert defaults["num_nodes"] == 8
+        assert defaults["vthread_slots"] == 6
+        assert defaults["cache_words"] == 4 * 4096
+        assert defaults["sdram_words"] == 1 << 20
+        assert payload["config"]["network"]["mesh_shape"] == [2, 2, 2]
+        assert payload["snapshot_schema_version"] >= 1
+
+    def test_info_config_round_trips(self, capsys):
+        from repro.snapshot import config_from_dict
+
+        assert main(["info"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        config = config_from_dict(payload["config"])
+        assert config.num_nodes == 8
+
+
+class TestSnapshotResumeCommands:
+    def test_snapshot_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["snapshot", "cc-sync", "--at-cycle", "100", "--out", "s.json"])
+        assert args.workload == "cc-sync"
+        assert args.at_cycle == 100 and args.out == "s.json"
+
+    def test_resume_parser_defaults(self):
+        args = build_parser().parse_args(["resume", "s.json"])
+        assert args.fanout == 1 and args.jobs == 1
+        assert args.max_cycles == 1_000_000
+
+    def test_sweep_checkpoint_every_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "smoke", "--checkpoint-every", "5000"])
+        assert args.checkpoint_every == 5000
+
+    def test_snapshot_then_resume_end_to_end(self, tmp_path, capsys):
+        path = str(tmp_path / "warm.json")
+        assert main(["snapshot", "cc-sync", "--at-cycle", "60",
+                     "--out", path, "--param", "iterations=20"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["snapshot"] == path
+        assert payload["cycle"] >= 60
+
+        assert main(["resume", path]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["resumed_from_cycle"] >= 60
+        assert resumed["cycles"] > resumed["resumed_from_cycle"]
+        assert resumed["summary"]["nodes"] == 1
+
+    def test_resume_fanout_runs_are_identical(self, tmp_path, capsys):
+        path = str(tmp_path / "warm.json")
+        assert main(["snapshot", "cc-sync", "--at-cycle", "60",
+                     "--out", path, "--param", "iterations=20"]) == 0
+        capsys.readouterr()
+        assert main(["resume", path, "--fanout", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 3
+        assert payload["runs"][0] == payload["runs"][1] == payload["runs"][2]
+
+    def test_snapshot_unknown_workload_exits_2(self, tmp_path, capsys):
+        assert main(["snapshot", "no-such", "--at-cycle", "10",
+                     "--out", str(tmp_path / "s.json")]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_snapshot_after_workload_end_exits_1(self, tmp_path, capsys):
+        assert main(["snapshot", "cc-sync", "--at-cycle", "10000000",
+                     "--out", str(tmp_path / "s.json"),
+                     "--param", "iterations=5"]) == 1
+        assert "finished before" in capsys.readouterr().err
+
+    def test_resume_unreadable_snapshot_exits_2(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
