@@ -19,23 +19,27 @@ with sweep output.
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
 
 import pytest
 
+from repro.report.trajectory import append_session
 from repro.sweep.runner import record_from_metrics, store_record
 from repro.sweep.spec import RunSpec
 from repro.workloads import factories
 
-#: Machine-readable benchmark trajectory, written to ``BENCH_kernel.json``
-#: (or ``$REPRO_BENCH_JSON``) at session end.  Benchmarks append named
-#: entries via :func:`record_trajectory`; CI uploads the file as an
-#: artifact so kernel throughput and snapshot overhead are tracked per
-#: commit.
+#: Machine-readable benchmark trajectory, appended to ``BENCH_kernel.json``
+#: (or ``$REPRO_BENCH_JSON``) at session end.  Benchmarks record named
+#: entries via :func:`record_trajectory`; every benchmark session — locally
+#: and in CI — appends one session record
+#: (:mod:`repro.report.trajectory`), and CI uploads the file as an artifact
+#: so kernel throughput and snapshot overhead are tracked per commit.
 BENCH_TRAJECTORY: dict = {}
+
+#: Set once any benchmark test from this directory actually ran; a session
+#: that collected no benchmarks (e.g. ``pytest tests/``) must not append.
+_RAN_BENCHMARKS = False
 
 
 def record_trajectory(name: str, **metrics) -> None:
@@ -43,21 +47,16 @@ def record_trajectory(name: str, **metrics) -> None:
     BENCH_TRAJECTORY[name] = metrics
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not BENCH_TRAJECTORY:
-        return
-    from repro import __version__
+def pytest_runtest_setup(item):
+    global _RAN_BENCHMARKS
+    _RAN_BENCHMARKS = True
 
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RAN_BENCHMARKS:
+        return
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_kernel.json")
-    document = {
-        "schema_version": 1,
-        "repro_version": __version__,
-        "python": platform.python_version(),
-        "benchmarks": BENCH_TRAJECTORY,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    append_session(path, BENCH_TRAJECTORY)
 
 
 def report(title: str, lines) -> None:

@@ -46,7 +46,7 @@ from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, Prot
 from repro.memory.page_table import BlockStatus
 from repro.runtime.loader import SharedArray, make_shared_array
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "MMachine",

@@ -58,10 +58,27 @@ class Timeline:
     def labels(self) -> List[str]:
         return [event.label for event in self.events]
 
+    def to_records(self) -> List[list]:
+        """JSON-ready ``[[cycle, node, label], ...]`` rows of the normalised
+        timeline (the machine-readable form sweep records and the report
+        renderer exchange)."""
+        return [
+            [event.cycle, event.node, event.label]
+            for event in self.normalised().events
+        ]
+
     def __str__(self) -> str:
         lines = [f"timeline: {self.kind} ({self.total_cycles} cycles)"]
         lines.extend(str(event) for event in self.normalised().events)
         return "\n".join(lines)
+
+
+def timeline_from_records(kind: str, records: List[list]) -> Timeline:
+    """Rebuild a :class:`Timeline` from :meth:`Timeline.to_records` rows."""
+    timeline = Timeline(kind=kind)
+    for cycle, node, label in records:
+        timeline.add(int(cycle), int(node), str(label))
+    return timeline
 
 
 def _first(tracer: Tracer, category: str, node: int, since: int = 0, **match) -> Optional[TraceEvent]:

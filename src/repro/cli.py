@@ -11,10 +11,16 @@ Subcommands:
   fresh process) and run it to completion; with ``--fanout`` the same
   warmed-up state is fanned out to K measurement runs.
 * ``repro sweep SPEC [--jobs N] [--results-dir D] [--force] [--dry-run]
-  [--checkpoint-every N]`` — expand a built-in spec (or ``--spec-file``) and
-  fan the runs out over a worker pool; completed runs found in the results
-  directory are skipped, and with ``--checkpoint-every`` interrupted runs
-  resume from their latest mid-run checkpoint instead of from cycle 0.
+  [--checkpoint-every N] [--report]`` — expand a built-in spec (or
+  ``--spec-file``) and fan the runs out over a worker pool; completed runs
+  found in the results directory are skipped, with ``--checkpoint-every``
+  interrupted runs resume from their latest mid-run checkpoint instead of
+  from cycle 0, and ``--report`` renders the paper-figure report when the
+  sweep completes.
+* ``repro report MANIFEST [-o DIR] [--check] [--format md|svg|both]`` —
+  render a ``sweep-results.json`` manifest (or a results directory) into
+  the paper's figures and tables; ``--check`` exits nonzero iff a measured
+  metric falls outside its tolerance vs the paper's published values.
 * ``repro validate RESULTS.json`` — schema-check a merged results file and
   exit nonzero on invalid, missing or failed records.
 """
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from typing import Dict, List, Optional, Sequence
@@ -186,6 +193,44 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "snapshot each run's machine every N simulated cycles so an "
             "interrupted sweep resumes mid-run instead of from cycle 0"
+        ),
+    )
+    sweep.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "render the paper-figure report into <results-dir>/report when "
+            "the sweep completes"
+        ),
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a sweep manifest into the paper's figures and tables",
+    )
+    report.add_argument(
+        "manifest",
+        help="path to sweep-results.json (or a results directory)",
+    )
+    report.add_argument(
+        "--out",
+        "-o",
+        default=None,
+        metavar="DIR",
+        help="output directory (default: <manifest dir>/report)",
+    )
+    report.add_argument(
+        "--format",
+        choices=["md", "svg", "both"],
+        default="both",
+        help="what to write: the Markdown report, the SVG charts, or both",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit nonzero iff any measured metric falls outside its "
+            "tolerance vs the paper's published values"
         ),
     )
 
@@ -357,6 +402,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             force=args.force,
             checkpoint_every=args.checkpoint_every,
+            report=args.report,
         )
         result = runner.run(spec)
     except ValueError as error:
@@ -376,6 +422,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 1
     print(result.results_path)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import Manifest, ManifestError, render_report
+    from repro.report.compare import failures, summary_line
+
+    try:
+        manifest = Manifest.load(args.manifest)
+    except ManifestError as error:
+        print(f"repro report: {error}", file=sys.stderr)
+        return 2
+    for problem in manifest.problems:
+        print(f"repro report: skipped invalid record: {problem}", file=sys.stderr)
+    if not manifest.records:
+        print(f"repro report: {args.manifest} holds no valid records", file=sys.stderr)
+        return 2
+    base = args.manifest if os.path.isdir(args.manifest) else os.path.dirname(args.manifest)
+    out_dir = args.out if args.out is not None else os.path.join(base, "report")
+    result = render_report(manifest, out_dir, fmt=args.format)
+    for path in result.chart_paths:
+        print(path)
+    if result.markdown_path is not None:
+        print(result.markdown_path)
+    print(f"reproduction check: {summary_line(result.check_rows)}", file=sys.stderr)
+    if args.check:
+        for row in failures(result.check_rows):
+            measured = ", ".join(str(value) for value in row.measured)
+            print(
+                f"repro report: {row.key}: measured {measured} outside "
+                f"[{row.lo}, {row.hi}]",
+                file=sys.stderr,
+            )
+        return 0 if result.check_ok else 1
     return 0
 
 
@@ -414,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_resume(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "validate":
         return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

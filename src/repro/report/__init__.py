@@ -1,0 +1,32 @@
+"""Paper-figure reporting: sweep manifests -> the paper's figures and tables.
+
+The output side of the reproduction pipeline (Figures 5-9, Table 1, the
+Sections 1/5 area model and ablations A1-A4): ``repro report`` consumes the
+``sweep-results.json`` manifest a sweep produced and renders a
+self-contained, byte-deterministic report — Markdown tables plus SVG charts
+— and audits the measured values against the paper's published numbers.
+
+* :mod:`repro.report.manifest` — load/index sweep results;
+* :mod:`repro.report.svg` — deterministic grouped-bar and Gantt SVG charts;
+* :mod:`repro.report.tables` / :mod:`repro.report.figures` — per-section
+  builders (Table 1, area model, ablations / Figures 5-9);
+* :mod:`repro.report.expected` — the paper's published values with
+  per-metric acceptance bands;
+* :mod:`repro.report.compare` — pass/fail evaluation and the delta table;
+* :mod:`repro.report.render` — assemble and write ``report.md`` + charts;
+* :mod:`repro.report.trajectory` — the benchmark-trajectory file
+  (``BENCH_kernel.json``) schema and appender.
+"""
+
+from repro.report.compare import evaluate, failures
+from repro.report.manifest import Manifest, ManifestError
+from repro.report.render import ReportResult, render_report
+
+__all__ = [
+    "Manifest",
+    "ManifestError",
+    "ReportResult",
+    "evaluate",
+    "failures",
+    "render_report",
+]

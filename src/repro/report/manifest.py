@@ -1,0 +1,203 @@
+"""Loading and indexing sweep results for the report renderer.
+
+A report is rendered from a *manifest*: the merged ``sweep-results.json``
+written by :class:`~repro.sweep.runner.SweepRunner` (or any file of
+schema-valid records).  :class:`Manifest` loads one from a file path or a
+results directory (falling back to merging ``<dir>/runs/*.json``) and indexes
+the records so section builders can select runs by workload and parameter
+values.
+
+Parameter matching is on *effective* parameters: the record's explicit
+params overlaid on the workload factory's keyword defaults, so a record that
+omitted ``kernel`` still matches ``kernel="event"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sweep.runner import RESULTS_FILENAME, RUNS_DIRNAME
+from repro.sweep.schema import validate_record
+from repro.workloads import factories
+
+
+class ManifestError(ValueError):
+    """The manifest path cannot be loaded as sweep results."""
+
+
+def _normalise(value: object) -> object:
+    """Normalise a parameter value for comparison (lists become tuples)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalise(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One schema-valid result record plus its effective parameters."""
+
+    record: Dict[str, object]
+    effective_params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        return str(self.record["run_id"])
+
+    @property
+    def workload(self) -> str:
+        return str(self.record["workload"])
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return dict(self.record.get("params") or {})
+
+    @property
+    def metrics(self) -> Dict[str, object]:
+        return dict(self.record.get("metrics") or {})
+
+    @property
+    def tags(self) -> Dict[str, str]:
+        return dict(self.record.get("tags") or {})
+
+    @property
+    def ok(self) -> bool:
+        return self.record.get("status") == "ok"
+
+    def metric(self, name: str) -> object:
+        metrics = self.record.get("metrics") or {}
+        if name not in metrics:
+            raise KeyError(f"run {self.run_id!r} has no metric {name!r}")
+        return metrics[name]
+
+    def matches(self, params: Dict[str, object]) -> bool:
+        """Whether every given key/value equals this run's effective value."""
+        for key, value in params.items():
+            if key not in self.effective_params:
+                return False
+            if _normalise(self.effective_params[key]) != _normalise(value):
+                return False
+        return True
+
+
+#: ``workload -> factory keyword defaults`` cache: signature introspection is
+#: identical for every record of a workload, so do it once per manifest load.
+_DEFAULTS_CACHE: Dict[str, Dict[str, object]] = {}
+
+
+def _effective_params(workload: str, params: Dict[str, object]) -> Dict[str, object]:
+    if workload not in _DEFAULTS_CACHE:
+        try:
+            _DEFAULTS_CACHE[workload] = dict(factories.workload_params(workload))
+        except KeyError:
+            _DEFAULTS_CACHE[workload] = {}
+    effective = dict(_DEFAULTS_CACHE[workload])
+    effective.update(params)
+    return effective
+
+
+@dataclass
+class Manifest:
+    """An indexed collection of sweep result records."""
+
+    source: str
+    spec_name: str = ""
+    records: List[RunRecord] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_document(cls, document: Dict[str, object], source: str = "") -> "Manifest":
+        """Build a manifest from a loaded ``sweep-results.json`` document."""
+        runs = document.get("runs")
+        if not isinstance(runs, list):
+            raise ManifestError(f"{source or 'document'} has no 'runs' list")
+        spec = document.get("spec")
+        spec_name = str(spec.get("name", "")) if isinstance(spec, dict) else ""
+        return cls._from_raw_records(runs, source=source, spec_name=spec_name)
+
+    @classmethod
+    def _from_raw_records(
+        cls, raw: List[object], source: str, spec_name: str = ""
+    ) -> "Manifest":
+        manifest = cls(source=source, spec_name=spec_name)
+        for index, record in enumerate(raw):
+            record_problems = validate_record(record)
+            if record_problems:
+                manifest.problems.extend(
+                    f"runs[{index}]: {problem}" for problem in record_problems
+                )
+                continue
+            manifest.records.append(
+                RunRecord(
+                    record=record,
+                    effective_params=_effective_params(
+                        str(record["workload"]), dict(record.get("params") or {})
+                    ),
+                )
+            )
+        manifest.records.sort(key=lambda run: run.run_id)
+        return manifest
+
+    @classmethod
+    def load(cls, path: str) -> "Manifest":
+        """Load a manifest from a results file or a results directory.
+
+        A directory is resolved to ``<dir>/sweep-results.json`` when present,
+        otherwise to the merged per-run records under ``<dir>/runs/``.
+        """
+        if os.path.isdir(path):
+            merged = os.path.join(path, RESULTS_FILENAME)
+            if os.path.isfile(merged):
+                return cls.load(merged)
+            runs_dir = os.path.join(path, RUNS_DIRNAME)
+            if not os.path.isdir(runs_dir):
+                raise ManifestError(
+                    f"{path} contains neither {RESULTS_FILENAME} nor {RUNS_DIRNAME}/"
+                )
+            raw: List[object] = []
+            unreadable: List[str] = []
+            for name in sorted(os.listdir(runs_dir)):
+                if not name.endswith(".json"):
+                    continue
+                with open(os.path.join(runs_dir, name), "r", encoding="utf-8") as handle:
+                    try:
+                        raw.append(json.load(handle))
+                    except json.JSONDecodeError as error:
+                        unreadable.append(f"{name}: not valid JSON ({error})")
+            manifest = cls._from_raw_records(raw, source=path)
+            manifest.problems.extend(unreadable)
+            return manifest
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise ManifestError(f"cannot read {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ManifestError(f"{path} is not valid JSON: {error}") from error
+        if not isinstance(document, dict):
+            raise ManifestError(f"{path} does not contain a results object")
+        return cls.from_document(document, source=path)
+
+    # -- queries -----------------------------------------------------------------
+
+    def workloads(self) -> List[str]:
+        return sorted({run.workload for run in self.records})
+
+    def find(self, workload: str, **params: object) -> List[RunRecord]:
+        """All ok records of *workload* whose effective params match."""
+        return [
+            run
+            for run in self.records
+            if run.workload == workload and run.ok and run.matches(params)
+        ]
+
+    def first(self, workload: str, **params: object) -> Optional[RunRecord]:
+        matches = self.find(workload, **params)
+        return matches[0] if matches else None
+
+    def counts(self) -> Tuple[int, int]:
+        """``(ok, failed)`` record counts."""
+        ok = sum(1 for run in self.records if run.ok)
+        return ok, len(self.records) - ok

@@ -1,0 +1,309 @@
+"""Deterministic SVG chart primitives for the paper-figure report.
+
+Two chart forms cover everything the report needs: a grouped bar chart (the
+magnitude comparisons of Figures 5-8, Table 1 and the ablations) and a
+Gantt-style waterfall (the Figure 9 remote-access timelines).  The output is
+byte-deterministic — fixed coordinate formatting, no timestamps, no
+randomness — so rendered reports can be committed as goldens and diffed in
+CI.
+
+Colors follow a validated categorical palette (fixed slot order, CVD-safe
+adjacent pairs on a light surface); text always wears ink tokens, never the
+series color.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+#: Chart surface and ink tokens (light mode).
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3e0"
+AXIS = "#c9c8c4"
+
+#: Categorical series slots, assigned in fixed order (never cycled).
+SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100")
+
+FONT = "font-family=\"Helvetica, Arial, sans-serif\""
+
+
+def _num(value: float) -> str:
+    """Fixed, locale-independent coordinate formatting ("12", "12.5")."""
+    text = f"{value:.2f}"
+    text = text.rstrip("0").rstrip(".")
+    return text if text not in ("-0", "") else "0"
+
+
+def format_value(value: object) -> str:
+    """Human-readable value label ("12", "8.16", "0.9998")."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(round(value, 4))
+    return str(value)
+
+
+def escape(text: str) -> str:
+    """Escape a string for use in SVG text/attribute content."""
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def nice_ceiling(value: float) -> float:
+    """The smallest 'nice' number (1/2/2.5/5 x 10^k) >= value."""
+    if value <= 0:
+        return 1.0
+    exponent = math.floor(math.log10(value))
+    fraction = value / (10 ** exponent)
+    for nice in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if fraction <= nice + 1e-9:
+            return nice * (10 ** exponent)
+    return 10.0 ** (exponent + 1)
+
+
+def _ticks(top: float, count: int = 4) -> List[float]:
+    return [top * index / count for index in range(count + 1)]
+
+
+def _text(
+    x: float,
+    y: float,
+    content: str,
+    *,
+    size: int = 11,
+    fill: str = TEXT_SECONDARY,
+    anchor: str = "start",
+    weight: Optional[str] = None,
+) -> str:
+    weight_attr = f" font-weight=\"{weight}\"" if weight else ""
+    return (
+        f'<text x="{_num(x)}" y="{_num(y)}" {FONT} font-size="{size}"'
+        f' fill="{fill}" text-anchor="{anchor}"{weight_attr}>'
+        f"{escape(content)}</text>"
+    )
+
+
+def _rounded_top_bar(x: float, y: float, width: float, height: float, fill: str) -> str:
+    """A bar with a rounded data-end (top) and a flat baseline end."""
+    radius = min(3.0, width / 2.0, height)
+    if height <= 0:
+        return ""
+    path = (
+        f"M{_num(x)},{_num(y + height)} "
+        f"L{_num(x)},{_num(y + radius)} "
+        f"Q{_num(x)},{_num(y)} {_num(x + radius)},{_num(y)} "
+        f"L{_num(x + width - radius)},{_num(y)} "
+        f"Q{_num(x + width)},{_num(y)} {_num(x + width)},{_num(y + radius)} "
+        f"L{_num(x + width)},{_num(y + height)} Z"
+    )
+    return f'<path d="{path}" fill="{fill}"/>'
+
+
+def grouped_bar_chart(
+    title: str,
+    categories: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    y_label: str = "",
+    width: int = 640,
+    height: int = 340,
+    value_labels: bool = True,
+) -> str:
+    """A grouped bar chart: one group per category, one bar per series.
+
+    ``series`` is an ordered list of ``(name, values)`` pairs; every value
+    list must have one entry per category (``None`` gaps are skipped).
+    """
+    if not categories or not series:
+        raise ValueError("grouped_bar_chart needs categories and series")
+    if len(series) > len(SERIES_COLORS):
+        raise ValueError(f"at most {len(SERIES_COLORS)} series are supported")
+    for name, values in series:
+        if len(values) != len(categories):
+            raise ValueError(f"series {name!r} has {len(values)} values for "
+                             f"{len(categories)} categories")
+
+    margin_left, margin_right = 64, 20
+    margin_top, margin_bottom = 52, 44
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    peak = max(
+        (value for _, values in series for value in values if value is not None),
+        default=0.0,
+    )
+    top = nice_ceiling(float(peak) * 1.05) if peak else 1.0
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    parts.append(_text(margin_left, 22, title, size=13, fill=TEXT_PRIMARY, weight="600"))
+    if y_label:
+        parts.append(_text(margin_left, 38, y_label, size=10))
+
+    # Recessive horizontal grid + y-axis tick labels.
+    for tick in _ticks(top):
+        y = margin_top + plot_h * (1 - tick / top)
+        parts.append(
+            f'<line x1="{_num(margin_left)}" y1="{_num(y)}" '
+            f'x2="{_num(margin_left + plot_w)}" y2="{_num(y)}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(_text(margin_left - 6, y + 3.5, format_value(tick), size=10,
+                           anchor="end"))
+
+    # Legend (only for >= 2 series), top-right, fixed slot order.
+    if len(series) >= 2:
+        legend_x = width - margin_right
+        for index, (name, _) in reversed(list(enumerate(series))):
+            label_w = 10 + 6.2 * len(name)
+            legend_x -= label_w + 14
+            color = SERIES_COLORS[index]
+            parts.append(
+                f'<rect x="{_num(legend_x)}" y="14" width="10" height="10" '
+                f'rx="2" fill="{color}"/>'
+            )
+            parts.append(_text(legend_x + 14, 23, name, size=10))
+
+    group_w = plot_w / len(categories)
+    bar_gap = 2.0
+    bar_w = min(
+        40.0,
+        (group_w * 0.72 - bar_gap * (len(series) - 1)) / len(series),
+    )
+    cluster_w = bar_w * len(series) + bar_gap * (len(series) - 1)
+
+    for cat_index, category in enumerate(categories):
+        group_x = margin_left + group_w * cat_index
+        start_x = group_x + (group_w - cluster_w) / 2
+        for series_index, (_, values) in enumerate(series):
+            value = values[cat_index]
+            if value is None:
+                continue
+            bar_h = plot_h * float(value) / top
+            x = start_x + series_index * (bar_w + bar_gap)
+            y = margin_top + plot_h - bar_h
+            parts.append(_rounded_top_bar(x, y, bar_w, bar_h, SERIES_COLORS[series_index]))
+            if value_labels:
+                parts.append(_text(x + bar_w / 2, y - 4, format_value(value),
+                                   size=9, anchor="middle"))
+        parts.append(_text(group_x + group_w / 2, margin_top + plot_h + 16,
+                           category, size=10, fill=TEXT_PRIMARY, anchor="middle"))
+
+    # Baseline.
+    baseline_y = margin_top + plot_h
+    parts.append(
+        f'<line x1="{_num(margin_left)}" y1="{_num(baseline_y)}" '
+        f'x2="{_num(margin_left + plot_w)}" y2="{_num(baseline_y)}" '
+        f'stroke="{AXIS}" stroke-width="1"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(part for part in parts if part) + "\n"
+
+
+def gantt_chart(
+    title: str,
+    events: Sequence[Tuple[int, int, str]],
+    *,
+    lane_names: Optional[Sequence[str]] = None,
+    width: int = 760,
+) -> str:
+    """A Gantt-style waterfall: one row per milestone, bars span the cycles
+    elapsed since the previous milestone, colored by the node (lane) the
+    milestone occurs on.
+
+    ``events`` is an ordered list of ``(cycle, lane, label)`` with cycles
+    already normalised so the first milestone is cycle 0.
+    """
+    if not events:
+        raise ValueError("gantt_chart needs at least one event")
+    lanes = sorted({lane for _, lane, _ in events})
+    if len(lanes) > len(SERIES_COLORS):
+        raise ValueError(f"at most {len(SERIES_COLORS)} lanes are supported")
+    lane_color = {lane: SERIES_COLORS[index] for index, lane in enumerate(lanes)}
+    names = list(lane_names) if lane_names is not None else [
+        f"node {lane}" for lane in lanes
+    ]
+
+    row_h = 24
+    margin_left, margin_right = 16, 16
+    margin_top, margin_bottom = 56, 36
+    plot_w = width - margin_left - margin_right
+    height = margin_top + row_h * len(events) + margin_bottom
+    total = max(cycle for cycle, _, _ in events)
+    top = float(nice_ceiling(total)) if total else 1.0
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    parts.append(_text(margin_left, 22, title, size=13, fill=TEXT_PRIMARY, weight="600"))
+
+    # Legend: one swatch per lane.
+    legend_x = width - margin_right
+    for index in range(len(lanes) - 1, -1, -1):
+        name = names[index]
+        label_w = 10 + 6.2 * len(name)
+        legend_x -= label_w + 14
+        parts.append(
+            f'<rect x="{_num(legend_x)}" y="14" width="10" height="10" rx="2" '
+            f'fill="{lane_color[lanes[index]]}"/>'
+        )
+        parts.append(_text(legend_x + 14, 23, name, size=10))
+
+    # Vertical cycle grid.
+    plot_top = margin_top - 8
+    plot_bottom = margin_top + row_h * len(events)
+    for tick in _ticks(top):
+        x = margin_left + plot_w * tick / top
+        parts.append(
+            f'<line x1="{_num(x)}" y1="{_num(plot_top)}" '
+            f'x2="{_num(x)}" y2="{_num(plot_bottom)}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(_text(x, plot_bottom + 16, format_value(tick), size=10,
+                           anchor="middle"))
+    parts.append(_text(margin_left + plot_w, plot_bottom + 30, "cycles",
+                       size=10, anchor="end"))
+
+    previous_cycle = 0
+    for row, (cycle, lane, label) in enumerate(events):
+        y = margin_top + row_h * row
+        start = min(previous_cycle, cycle)
+        span = max(cycle - start, 0)
+        x0 = margin_left + plot_w * start / top
+        bar_w = max(plot_w * span / top, 2.0)
+        parts.append(
+            f'<rect x="{_num(x0)}" y="{_num(y + 5)}" width="{_num(bar_w)}" '
+            f'height="10" rx="2" fill="{lane_color[lane]}"/>'
+        )
+        caption = f"{cycle}: {label}"
+        label_x = x0 + bar_w + 6
+        # Long captions overflowing the right edge flip to the bar's left.
+        approx_w = 5.6 * len(caption)
+        anchor = "start"
+        if label_x + approx_w > width - margin_right:
+            label_x = x0 - 6
+            anchor = "end"
+        parts.append(_text(label_x, y + 14, caption, size=10, anchor=anchor))
+        previous_cycle = cycle
+
+    parts.append("</svg>")
+    return "\n".join(part for part in parts if part) + "\n"

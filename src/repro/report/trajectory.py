@@ -1,0 +1,200 @@
+"""The benchmark-trajectory file (``BENCH_kernel.json``): schema + appender.
+
+``benchmarks/conftest.py`` appends one *session record* per benchmark
+session — kernel throughput, snapshot overhead, whatever the benchmarks
+chose to track — so the file is a trajectory across runs/commits rather
+than a single overwritten measurement:
+
+.. code-block:: json
+
+    {"schema_version": 2,
+     "sessions": [{"repro_version": "0.5.0", "python": "3.11.7",
+                   "benchmarks": {"kernel_throughput": {"...": 1}}}]}
+
+Schema-1 files (a single session document with a top-level ``benchmarks``
+mapping) are converted to one session on the first append.  The module is
+runnable for CI gating::
+
+    python -m repro.report.trajectory BENCH_kernel.json --require-nonempty
+
+exits nonzero when the file is missing, schema-invalid, or (with the flag)
+records no benchmark at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 2
+
+#: Keep the trajectory bounded: the newest sessions win.
+MAX_SESSIONS = 20
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_session(session: object) -> List[str]:
+    """Problems with one session record (empty list when valid)."""
+    if not isinstance(session, dict):
+        return [f"session is {type(session).__name__}, not an object"]
+    problems = []
+    for name in ("repro_version", "python"):
+        if not isinstance(session.get(name), str):
+            problems.append(f"session field {name!r} missing or not a string")
+    benchmarks = session.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        return problems + ["session has no 'benchmarks' mapping"]
+    for name, metrics in benchmarks.items():
+        if not isinstance(metrics, dict):
+            problems.append(f"benchmark {name!r} is not a metrics mapping")
+            continue
+        for key, value in metrics.items():
+            if not isinstance(value, _SCALARS):
+                problems.append(
+                    f"benchmark {name!r} metric {key!r} is not a JSON scalar"
+                )
+    return problems
+
+
+def validate_trajectory(document: object) -> List[str]:
+    """Problems with a trajectory document (empty list when valid)."""
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not an object"]
+    problems = []
+    if document.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {document.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    sessions = document.get("sessions")
+    if not isinstance(sessions, list):
+        return problems + ["document has no 'sessions' list"]
+    for index, session in enumerate(sessions):
+        problems.extend(
+            f"sessions[{index}]: {problem}" for problem in validate_session(session)
+        )
+    return problems
+
+
+def make_session(benchmarks: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """A session record for *benchmarks* (stamped with version + python)."""
+    from repro import __version__
+
+    session = {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "benchmarks": {name: dict(metrics) for name, metrics in benchmarks.items()},
+    }
+    problems = validate_session(session)
+    if problems:
+        raise ValueError(f"constructed an invalid session: {problems}")
+    return session
+
+
+def _convert_schema1(document: Dict[str, object]) -> List[Dict[str, object]]:
+    """A schema-1 file was one session document; keep it as history."""
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        return []
+    session = {
+        "repro_version": str(document.get("repro_version", "unknown")),
+        "python": str(document.get("python", "unknown")),
+        "benchmarks": benchmarks,
+    }
+    return [] if validate_session(session) else [session]
+
+
+def load_sessions(path: str) -> List[Dict[str, object]]:
+    """The existing sessions of *path* (empty for missing/unusable files)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(document, dict):
+        return []
+    if document.get("schema_version") == SCHEMA_VERSION:
+        sessions = document.get("sessions")
+        if isinstance(sessions, list):
+            return [s for s in sessions if not validate_session(s)]
+        return []
+    return _convert_schema1(document)
+
+
+def append_session(
+    path: str,
+    benchmarks: Dict[str, Dict[str, object]],
+    max_sessions: int = MAX_SESSIONS,
+) -> Dict[str, object]:
+    """Append one session for *benchmarks* to *path*; returns the document.
+
+    The file is created when missing and converted when schema-1; only the
+    newest *max_sessions* sessions are kept.
+    """
+    sessions = load_sessions(path)
+    sessions.append(make_session(benchmarks))
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "sessions": sessions[-max_sessions:],
+    }
+    # Atomic replace: a crash mid-write must not truncate the accumulated
+    # trajectory (load_sessions would silently restart it next session).
+    staging = path + ".tmp"
+    with open(staging, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(staging, path)
+    return document
+
+
+def check_file(path: str, require_nonempty: bool = False) -> List[str]:
+    """Validate the trajectory file at *path*; problems as strings."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot read {path}: {error}"]
+    problems = validate_trajectory(document)
+    if problems:
+        return problems
+    sessions = document["sessions"]
+    if require_nonempty:
+        if not sessions:
+            problems.append(f"{path} records no benchmark sessions")
+        elif not any(session.get("benchmarks") for session in sessions):
+            problems.append(f"{path} sessions record no benchmarks")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: validate a trajectory file (used by CI)."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report.trajectory",
+        description="Validate a benchmark-trajectory file (BENCH_kernel.json).",
+    )
+    parser.add_argument("path", help="trajectory file to validate")
+    parser.add_argument(
+        "--require-nonempty",
+        action="store_true",
+        help="also fail when the file records no benchmarks at all",
+    )
+    args = parser.parse_args(argv)
+    problems = check_file(args.path, require_nonempty=args.require_nonempty)
+    for problem in problems:
+        print(f"trajectory: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{args.path}: valid ({len(load_sessions(args.path))} sessions)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main())

@@ -162,6 +162,7 @@ class SweepRunner:
         force: bool = False,
         log: Optional[Callable[[str], None]] = None,
         checkpoint_every: Optional[int] = None,
+        report: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -171,6 +172,7 @@ class SweepRunner:
         self.jobs = jobs
         self.force = force
         self.checkpoint_every = checkpoint_every
+        self.report = report
         self._log = log if log is not None else self._default_log
 
     @staticmethod
@@ -254,7 +256,17 @@ class SweepRunner:
             f"({len(result.failed)} failed, {result.skipped} reused) in {wall:.1f}s"
             + throughput
         )
+        if self.report:
+            self._render_report(result)
         return result
+
+    def _render_report(self, result: SweepResult) -> None:
+        """Render the paper-figure report next to the manifest (``--report``)."""
+        from repro.report import Manifest, render_report
+
+        manifest = Manifest.load(result.results_path)
+        rendered = render_report(manifest, os.path.join(self.results_dir, "report"))
+        self._log(f"report: {rendered.markdown_path} (+{len(rendered.chart_paths)} charts)")
 
     def _execute(
         self,

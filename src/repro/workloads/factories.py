@@ -24,6 +24,7 @@ Conventions:
 from __future__ import annotations
 
 import inspect
+import json
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
@@ -411,6 +412,9 @@ def remote_access_timeline(
         verified=timeline.total_cycles > 0,
         total_cycles=timeline.total_cycles,
         milestones=len(timeline.events),
+        # Compact JSON so the report renderer can redraw the Figure 9 Gantt
+        # chart from the sweep record alone (metrics must stay scalar).
+        timeline=json.dumps(timeline.to_records(), separators=(",", ":")),
     )
     return metrics
 

@@ -1,0 +1,66 @@
+"""Documentation health: every relative Markdown link must resolve.
+
+This is the docs link check CI runs (over ``README.md`` and ``docs/**.md``,
+including the committed golden report); anchors and external URLs are out
+of scope — the check is that no committed page links to a file that does
+not exist in the repository.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: Inline Markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files():
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    for dirpath, _, filenames in os.walk(docs):
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                paths.append(os.path.join(dirpath, filename))
+    return paths
+
+
+def _relative_links(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    # Fenced code blocks may show example links; skip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_markdown_files_exist():
+    paths = _markdown_files()
+    assert len(paths) >= 5  # README + the docs site
+    assert any(path.endswith("architecture.md") for path in paths)
+
+
+@pytest.mark.parametrize(
+    "path", _markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT)
+)
+def test_relative_links_resolve(path):
+    base = os.path.dirname(path)
+    broken = []
+    for target in _relative_links(path):
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, f"broken links in {os.path.relpath(path, REPO_ROOT)}: {broken}"
+
+
+def test_readme_links_into_docs():
+    with open(os.path.join(REPO_ROOT, "README.md"), "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for target in ("docs/architecture.md", "docs/cli.md", "docs/sweeps.md",
+                   "docs/snapshots.md"):
+        assert target in text, f"README.md does not link {target}"
