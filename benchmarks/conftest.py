@@ -24,10 +24,10 @@ import time
 
 import pytest
 
+from repro.api.result import RunResult
+from repro.api.workload import get_workload
 from repro.report.trajectory import append_session
-from repro.sweep.runner import record_from_metrics, store_record
-from repro.sweep.spec import RunSpec
-from repro.workloads import factories
+from repro.sweep.runner import store_record
 
 #: Machine-readable benchmark trajectory, appended to ``BENCH_kernel.json``
 #: (or ``$REPRO_BENCH_JSON``) at session end.  Benchmarks record named
@@ -72,18 +72,23 @@ def run_and_record(workload: str, **params):
     """Run a workload factory; emit a sweep-schema record when recording.
 
     This is the entry point the benchmark files use, so a pytest run and a
-    ``repro sweep`` run of the same (workload, params) execute the same code.
+    ``repro sweep`` run of the same (workload, params) execute the same code
+    (both go through the typed ``repro.api`` registry, and the emitted
+    record is the serialised ``RunResult`` form).
     """
-    spec = RunSpec(workload=workload, params=params)
     start = time.perf_counter()
-    metrics = factories.run_workload(workload, params)
+    metrics = get_workload(workload).call(params)
     elapsed = time.perf_counter() - start
     record_dir = os.environ.get("REPRO_RECORD_DIR")
     if record_dir:
-        record = record_from_metrics(
-            spec, metrics, elapsed, tags={"harness": "pytest-benchmarks"}
+        result = RunResult.from_metrics(
+            workload=workload,
+            params=params,
+            metrics=metrics,
+            wall_seconds=elapsed,
+            tags={"harness": "pytest-benchmarks"},
         )
-        store_record(record, record_dir)
+        store_record(result.to_record(), record_dir)
     return metrics
 
 

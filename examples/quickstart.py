@@ -1,19 +1,23 @@
-"""Quickstart: build a small M-Machine, run a program, look at the results.
+"""Quickstart: define a workload, build an Experiment, inspect the RunResult.
 
-Builds a two-node machine (2x1x1 mesh), maps a page of the global address
-space on node 0, runs a tiny read-modify-write program on one H-Thread, and
-prints the machine statistics.  Run with::
+Defines a tiny read-modify-write workload with the ``@workload`` decorator
+(unregistered — it stays local to this script), binds it to a two-node
+machine through the fluent ``Experiment`` builder, runs it, and prints the
+structured result.  Run with::
 
     python examples/quickstart.py
 """
 
-from repro import MMachine, MachineConfig
+from repro import Experiment, MMachine, MachineConfig, workload
 
 HEAP = 0x10000
 
 
-def main() -> None:
-    config = MachineConfig.small(2, 1, 1)
+@workload("quickstart-increment", section="Section 2", register=False)
+def increment(mesh=(2, 1, 1), kernel="event"):
+    """Load a word, increment it, store it back — on one H-Thread."""
+    config = MachineConfig.small(*mesh)
+    config.sim.kernel = kernel
     machine = MMachine(config)
 
     # Map one page of the flat global virtual address space onto node 0 and
@@ -36,20 +40,41 @@ def main() -> None:
     )
 
     machine.run_until_user_done()
-
-    print(f"memory word after the run : {machine.read_word(HEAP)}")
-    print(f"cycles simulated          : {machine.cycle}")
     stats = machine.stats()
-    print(f"instructions issued       : {stats.total_instructions}")
-    print(f"cache hit rate            : {stats.cache_hit_rate:.2f}")
-    print()
-    print("Per-node summary:")
-    for node_stats in stats.node_stats:
-        issued = sum(cluster["instructions_issued"] for cluster in node_stats["clusters"])
-        print(f"  node {node_stats['node_id']} at {node_stats['coords']}: "
-              f"{issued} instructions, {node_stats['messages_sent']} messages sent")
+    return {
+        "verified": machine.read_word(HEAP) == 42,
+        "cycles": machine.cycle,
+        "instructions": stats.total_instructions,
+        "cache_hit_rate": round(stats.cache_hit_rate, 2),
+        "result_word": machine.read_word(HEAP),
+    }
 
-    assert machine.read_word(HEAP) == 42
+
+def main() -> None:
+    with (
+        Experiment.builder()
+        .workload(increment)
+        .mesh(2, 1, 1)
+        .kernel("event")
+        .build()
+    ) as experiment:
+        result = experiment.run()
+
+    print(f"memory word after the run : {result.metrics['result_word']}")
+    print(f"cycles simulated          : {result.cycles}")
+    print(f"instructions issued       : {result.metrics['instructions']}")
+    print(f"cache hit rate            : {result.metrics['cache_hit_rate']:.2f}")
+    print(f"simulation kernel         : {result.provenance.kernel}")
+    print(f"config fingerprint        : {result.fingerprint}")
+    print(f"run id                    : {result.run_id}")
+
+    assert result.verified
+    assert result.status == "ok"
+
+    # The same result serialises to the sweep-record schema, so anything a
+    # sweep produces, this script's run can be merged and compared with.
+    record = result.to_record()
+    assert record["workload"] == "quickstart-increment"
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-mmachine",
-    version="0.5.0",
+    version="0.6.0",
     description=(
         "Cycle-level simulator reproducing 'The M-Machine Multicomputer' "
         "(Fillo, Keckler, Dally, Carter, Chang, Gurevich & Lee, MICRO-28 1995)"
@@ -30,6 +30,8 @@ setup(
     license="MIT",
     packages=find_packages(where="src"),
     package_dir={"": "src"},
+    # PEP 561: ship the inline type hints (the typed repro.api facade).
+    package_data={"repro": ["py.typed"]},
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",

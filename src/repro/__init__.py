@@ -7,7 +7,22 @@ message and coherence handlers) that the paper's evaluation depends on,
 together with the workloads and analysis harnesses that regenerate the
 paper's tables and figures.
 
-Quick start::
+Quick start — the typed experiment API (see ``docs/api.md``)::
+
+    from repro import Experiment, run_workload
+
+    result = run_workload("ping-pong", rounds=8)        # one-shot
+    assert result.verified and result.cycles is not None
+
+    with (                                              # full builder
+        Experiment.builder()
+        .workload("flood", messages=16)
+        .override("network.send_credits", 2)
+        .build()
+    ) as experiment:
+        result = experiment.run()
+
+Or drive a machine by hand::
 
     from repro import MMachine, MachineConfig
 
@@ -24,6 +39,18 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured results.
 """
 
+from repro.api import (
+    Experiment,
+    ExperimentBuilder,
+    Provenance,
+    ReproDeprecationWarning,
+    RunResult,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+    run_workload,
+    workload,
+)
 from repro.core.config import (
     ClusterConfig,
     MachineConfig,
@@ -46,9 +73,19 @@ from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, Prot
 from repro.memory.page_table import BlockStatus
 from repro.runtime.loader import SharedArray, make_shared_array
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
+    "Experiment",
+    "ExperimentBuilder",
+    "Provenance",
+    "ReproDeprecationWarning",
+    "RunResult",
+    "Workload",
+    "WorkloadSpec",
+    "get_workload",
+    "run_workload",
+    "workload",
     "MMachine",
     "MachineConfig",
     "ClusterConfig",

@@ -1,0 +1,45 @@
+"""Warn-once deprecation machinery for the legacy experiment dialects.
+
+The pre-``repro.api`` call paths (``repro.workloads.factories.run_workload``
+and friends) keep working bit-exactly, but each emits a
+:class:`ReproDeprecationWarning` the *first* time it is used in a process so
+migrating code sees one actionable pointer instead of a warning per call.
+
+Internal code must not trip these shims: the test suite turns
+``ReproDeprecationWarning`` into an error (``filterwarnings`` in
+``setup.cfg``), which is scoped to this package's own category so
+third-party ``DeprecationWarning``\\ s are unaffected.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated ``repro`` call path was used (see :mod:`repro.api`)."""
+
+
+#: Shim keys that have already warned in this process.
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit *message* as a :class:`ReproDeprecationWarning`, once per *key*.
+
+    ``stacklevel=3`` points the warning at the caller of the deprecated shim
+    (shim -> warn_once -> warnings.warn), not at the shim itself.  The key
+    is recorded only after ``warnings.warn`` returns: under an ``error::``
+    filter the raise leaves the key armed, so *every* deprecated call keeps
+    failing loudly rather than only the first one per process.
+    """
+    if key in _WARNED:
+        return
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=3)
+    _WARNED.add(key)
+
+
+def reset_warnings() -> None:
+    """Forget which shims have warned (tests assert warn-once semantics)."""
+    _WARNED.clear()

@@ -1,0 +1,312 @@
+"""The typed workload registry: ``Workload`` protocol and ``WorkloadSpec``.
+
+A *workload* is a callable taking only keyword arguments (all with
+defaults) and returning a flat JSON-scalar metrics dict — the contract the
+paper-figure factories in :mod:`repro.workloads.factories` have always
+followed.  This module gives that contract a first-class shape:
+
+* :class:`Workload` is the structural protocol a workload callable
+  satisfies;
+* :class:`WorkloadSpec` wraps one workload with its registry name,
+  introspected parameter defaults, a generated params dataclass, a
+  description and the paper-section tag it reproduces;
+* :func:`workload` is the decorator that builds and (by default) registers
+  a spec — it replaces the bare ``WORKLOADS`` dict registry while the old
+  surface stays importable as a deprecated adapter view.
+
+Lookup functions (:func:`get_workload`, :func:`workload_names`,
+:func:`workload_defaults`) lazily import the built-in factory module, so
+the registry is populated on first use without an import cycle.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, make_dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.api.result import RunResult
+
+Metrics = Dict[str, object]
+
+
+class Workload(Protocol):
+    """The structural contract of a workload callable.
+
+    Accepts only keyword parameters (all defaulted) and returns a flat dict
+    of JSON-serialisable scalar metrics; machine-driving workloads report
+    ``cycles`` and ``verified``.
+    """
+
+    def __call__(self, **params: Any) -> Metrics:
+        """Run the workload with *params* and return its metrics."""
+        ...
+
+
+#: The typed registry: workload name -> spec.
+_REGISTRY: Dict[str, "WorkloadSpec"] = {}
+
+#: Set once the built-in factory module has been imported (it registers all
+#: paper-figure workloads as a side effect).
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        import repro.workloads.factories  # noqa: F401  (registers on import)
+
+
+def _signature_defaults(func: Callable[..., Metrics]) -> Dict[str, object]:
+    """The keyword defaults of *func*, in signature order."""
+    return {
+        param.name: param.default
+        for param in inspect.signature(func).parameters.values()
+        if param.default is not inspect.Parameter.empty
+    }
+
+
+def _params_dataclass(name: str, defaults: Mapping[str, object]) -> Type[Any]:
+    """A frozen dataclass type with one defaulted field per parameter."""
+    specs: List[Tuple[str, type, Any]] = []
+    for key, default in defaults.items():
+        field_type = type(default) if default is not None else object
+        if isinstance(default, (list, dict, set)):
+            specs.append((key, field_type, field(default_factory=lambda d=default: type(d)(d))))
+        else:
+            specs.append((key, field_type, field(default=default)))
+    class_name = "".join(part.capitalize() for part in name.replace("_", "-").split("-"))
+    return make_dataclass(f"{class_name}Params", specs, frozen=True)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload: callable plus metadata and typed params."""
+
+    name: str
+    func: Callable[..., Metrics]
+    defaults: Dict[str, object]
+    description: str = ""
+    #: Which part of the paper the workload reproduces (e.g. ``"Figure 5"``).
+    section: str = ""
+    #: Generated frozen dataclass of the workload's parameters; constructing
+    #: it type-checks nothing but *name*-checks everything (unknown parameter
+    #: names raise ``TypeError`` at construction time).
+    params_type: Type[Any] = object
+
+    def __call__(self, **params: Any) -> Metrics:
+        """Run the underlying callable directly (satisfies :class:`Workload`)."""
+        return self.func(**params)
+
+    @classmethod
+    def from_callable(
+        cls,
+        name: str,
+        func: Callable[..., Metrics],
+        description: Optional[str] = None,
+        section: str = "",
+    ) -> "WorkloadSpec":
+        """Build a spec by introspecting *func* (defaults, docstring)."""
+        if description is None:
+            doc = inspect.getdoc(func) or ""
+            description = doc.splitlines()[0].strip() if doc else ""
+        defaults = _signature_defaults(func)
+        return cls(
+            name=name,
+            func=func,
+            defaults=defaults,
+            description=description,
+            section=section,
+            params_type=_params_dataclass(name, defaults),
+        )
+
+    def param_names(self) -> List[str]:
+        """Parameter names, in signature order."""
+        return list(self.defaults)
+
+    def validate_params(self, params: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` on parameter names the workload does not take."""
+        unknown = sorted(set(params) - set(self.defaults))
+        if unknown:
+            valid = ", ".join(self.param_names()) or "(none)"
+            raise ValueError(
+                f"workload {self.name!r} has no parameter(s) "
+                f"{', '.join(repr(name) for name in unknown)}; valid: {valid}"
+            )
+
+    def make_params(self, **params: Any) -> Any:
+        """An instance of :attr:`params_type` with *params* applied."""
+        return self.params_type(**params)
+
+    def effective_params(self, params: Mapping[str, object]) -> Dict[str, object]:
+        """The explicit *params* overlaid on this workload's defaults."""
+        effective = dict(self.defaults)
+        effective.update(params)
+        return effective
+
+    def call(self, params: Optional[Mapping[str, object]] = None) -> Metrics:
+        """Run the workload with a params mapping and return its raw metrics."""
+        return self.func(**dict(params or {}))
+
+    def run(
+        self,
+        params: Optional[Mapping[str, object]] = None,
+        tags: Optional[Mapping[str, str]] = None,
+    ) -> "RunResult":
+        """Run the workload and wrap the outcome as a timed ``RunResult``."""
+        import time
+
+        from repro.api.result import RunResult
+
+        merged = dict(params or {})
+        self.validate_params(merged)
+        start = time.perf_counter()
+        metrics = self.call(merged)
+        return RunResult.from_metrics(
+            workload=self.name,
+            params=merged,
+            metrics=metrics,
+            wall_seconds=time.perf_counter() - start,
+            tags=tags,
+        )
+
+
+def register_spec(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
+    """Add *spec* to the registry; duplicate names raise unless *replace*."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove workload *name* from the registry (missing names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def workload(
+    name: Optional[str] = None,
+    *,
+    description: Optional[str] = None,
+    section: str = "",
+    register: bool = True,
+) -> Callable[[Callable[..., Metrics]], WorkloadSpec]:
+    """Decorator: wrap a factory function as a (usually registered) spec.
+
+    ::
+
+        @workload("stencil", section="Figure 5")
+        def stencil(kind: str = "7pt", n_hthreads: int = 1, ...) -> Dict[str, object]:
+            ...
+
+    The decorated name is bound to the :class:`WorkloadSpec` (which is itself
+    callable with the original signature).  ``register=False`` builds a
+    stand-alone spec — handy for scripts and examples that define a local
+    workload for one :class:`~repro.api.experiment.Experiment` without
+    touching the global registry.
+    """
+
+    def wrap(func: Callable[..., Metrics]) -> WorkloadSpec:
+        spec_name = name if name is not None else func.__name__.replace("_", "-")
+        spec = WorkloadSpec.from_callable(
+            spec_name, func, description=description, section=section
+        )
+        if register:
+            register_spec(spec)
+        return spec
+
+    return wrap
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """The registered spec for *name*; unknown names raise ``KeyError``."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        )
+    return _REGISTRY[name]
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def workload_defaults(name: str) -> Dict[str, object]:
+    """Default parameters of workload *name*, in signature order."""
+    return dict(get_workload(name).defaults)
+
+
+def workload_specs() -> List[WorkloadSpec]:
+    """All registered specs, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+class LegacyRegistry(MutableMapping):
+    """``name -> bare callable`` adapter view of the typed registry.
+
+    This is what ``repro.workloads.factories.WORKLOADS`` now is: reads
+    return the raw factory function (so old introspection code keeps
+    working), writes adapt the callable into a :class:`WorkloadSpec` — which
+    keeps ``monkeypatch.setitem(WORKLOADS, ...)``-style test seams working.
+    A spec displaced by a write is remembered, and writing its original
+    function back restores it (metadata included), so a patch/undo cycle is
+    lossless.
+    """
+
+    def __init__(self) -> None:
+        #: ``name -> spec`` displaced by a write, for lossless undo.
+        self._displaced: Dict[str, WorkloadSpec] = {}
+
+    def __getitem__(self, name: str) -> Callable[..., Metrics]:
+        _ensure_builtins()
+        return _REGISTRY[name].func
+
+    def __setitem__(self, name: str, func: Callable[..., Metrics]) -> None:
+        _ensure_builtins()
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.func is func:
+            return
+        displaced = self._displaced.get(name)
+        if displaced is not None and displaced.func is func:
+            _REGISTRY[name] = self._displaced.pop(name)
+            return
+        if existing is not None and name not in self._displaced:
+            self._displaced[name] = existing
+        register_spec(WorkloadSpec.from_callable(name, func), replace=True)
+
+    def __delitem__(self, name: str) -> None:
+        _ensure_builtins()
+        removed = _REGISTRY.pop(name)
+        # Remember the removed spec so a delete/undo cycle (what
+        # monkeypatch.delitem does) restores it with metadata intact.
+        self._displaced.setdefault(name, removed)
+
+    def __iter__(self) -> Iterator[str]:
+        _ensure_builtins()
+        return iter(_REGISTRY)
+
+    def __len__(self) -> int:
+        _ensure_builtins()
+        return len(_REGISTRY)
+
+    def __repr__(self) -> str:
+        return f"LegacyRegistry({sorted(self)!r})"

@@ -21,8 +21,12 @@ Subcommands:
   render a ``sweep-results.json`` manifest (or a results directory) into
   the paper's figures and tables; ``--check`` exits nonzero iff a measured
   metric falls outside its tolerance vs the paper's published values.
-* ``repro validate RESULTS.json`` — schema-check a merged results file and
-  exit nonzero on invalid, missing or failed records.
+* ``repro validate RESULTS.json [--roundtrip]`` — schema-check a merged
+  results file and exit nonzero on invalid, missing or failed records;
+  ``--roundtrip`` additionally requires every record to survive the
+  ``record -> RunResult -> record`` round-trip byte-identically.
+
+All workload execution goes through the typed :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -34,11 +38,13 @@ import sys
 import tempfile
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.experiment import run_workload
+from repro.api.result import roundtrip_problems
+from repro.api.workload import get_workload, workload_names, workload_specs
 from repro.sweep.runner import SweepRunner
 from repro.sweep.schema import validate_results
-from repro.sweep.spec import RunSpec, SweepSpec
+from repro.sweep.spec import SweepSpec
 from repro.sweep.specs import builtin_spec_names, get_spec
-from repro.workloads import factories
 
 
 def parse_param(text: str) -> object:
@@ -243,16 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not treat failed run records as validation errors",
     )
+    validate.add_argument(
+        "--roundtrip",
+        action="store_true",
+        help=(
+            "additionally require every record to round-trip byte-"
+            "identically through the typed RunResult interchange form"
+        ),
+    )
 
     return parser
 
 
 def _cmd_list() -> int:
     print("workloads:")
-    for name in factories.workload_names():
-        defaults = factories.workload_params(name)
-        rendered = ", ".join(f"{key}={value}" for key, value in defaults.items())
-        print(f"  {name}" + (f"  ({rendered})" if rendered else ""))
+    for spec in workload_specs():
+        rendered = ", ".join(f"{key}={value}" for key, value in spec.defaults.items())
+        line = f"  {spec.name}" + (f"  ({rendered})" if rendered else "")
+        if spec.section:
+            line += f"  [{spec.section}]"
+        print(line)
     print("sweep specs:")
     for name in builtin_spec_names():
         spec = get_spec(name)
@@ -302,7 +318,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             policy_path: Optional[str] = None
             with checkpoint_context(staging, snapshot_at=args.at_cycle, stop_after_snapshot=True):
                 try:
-                    factories.run_workload(args.workload, params)
+                    get_workload(args.workload).call(params)
                 except SnapshotTaken as taken:
                     policy_path = taken.path
         except (KeyError, TypeError, ValueError) as error:
@@ -360,16 +376,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except argparse.ArgumentTypeError as error:
         print(f"repro run: {error}", file=sys.stderr)
         return 2
-    spec = RunSpec(workload=args.workload, params=params)
     try:
-        metrics = factories.run_workload(spec.workload, spec.params)
+        result = run_workload(args.workload, params)
     except (KeyError, TypeError, ValueError) as error:
         message = error.args[0] if error.args else error
         print(f"repro run: {message}", file=sys.stderr)
         return 2
-    payload = {"run_id": spec.run_id, "metrics": metrics}
+    payload = {"run_id": result.run_id, "metrics": dict(result.metrics)}
     print(json.dumps(payload, indent=2, sort_keys=True))
-    return 0 if metrics.get("verified", True) else 1
+    return 0 if result.ok else 1
 
 
 def _load_spec(args: argparse.Namespace) -> SweepSpec:
@@ -387,7 +402,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         message = error.args[0] if error.args else error
         print(f"repro sweep: {message}", file=sys.stderr)
         return 2
-    problems = spec.validate(known_workloads=factories.workload_names())
+    problems = spec.validate(known_workloads=workload_names())
     if problems:
         for problem in problems:
             print(f"repro sweep: {problem}", file=sys.stderr)
@@ -467,6 +482,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"repro validate: cannot read {args.results}: {error}", file=sys.stderr)
         return 2
     problems = validate_results(document, allow_failed=args.allow_failed)
+    if args.roundtrip and isinstance(document, dict):
+        # Schema problems are already reported above; add only the
+        # round-trip drift findings.
+        problems += [
+            problem
+            for problem in roundtrip_problems(document)
+            if problem not in problems
+        ]
     if problems:
         for problem in problems:
             print(f"repro validate: {problem}", file=sys.stderr)

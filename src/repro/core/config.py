@@ -17,8 +17,8 @@ described in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Tuple, Type
 
 # ---------------------------------------------------------------------------
 # Architectural constants (fixed by the paper's description of the MAP chip).
@@ -247,3 +247,75 @@ class MachineConfig:
             raise ValueError(f"unknown issue policy {self.cluster.issue_policy!r}")
         if self.sim.kernel not in ("event", "naive"):
             raise ValueError(f"unknown simulation kernel {self.sim.kernel!r}")
+
+
+# ---------------------------------------------------------------------------
+# Dotted-key configuration overrides (``"section.attr"``).
+#
+# Workload factories, the sweep subsystem and the ``repro.api`` experiment
+# builder all accept flat ``{"network.send_credits": 2}``-style overrides;
+# this is the one place that decides which keys exist, so a typo fails loudly
+# instead of silently setting a dead attribute.
+# ---------------------------------------------------------------------------
+
+#: ``section name -> section dataclass`` for the dotted override namespace.
+_SECTIONS: Dict[str, Type[object]] = {
+    "cluster": ClusterConfig,
+    "memory": MemoryConfig,
+    "network": NetworkConfig,
+    "node": NodeConfig,
+    "runtime": RuntimeConfig,
+    "sim": SimConfig,
+}
+
+#: Top-level ``MachineConfig`` attributes addressable without a section.
+_TOP_LEVEL_KEYS: Tuple[str, ...] = ("trace_enabled",)
+
+
+def override_keys() -> List[str]:
+    """Every valid dotted override key, sorted (``"section.attr"`` plus the
+    top-level ``trace_enabled``)."""
+    keys = list(_TOP_LEVEL_KEYS)
+    for section, section_type in _SECTIONS.items():
+        keys.extend(f"{section}.{spec.name}" for spec in fields(section_type))
+    return sorted(keys)
+
+
+def validate_override_key(key: str) -> None:
+    """Raise ``ValueError`` unless *key* names a real configuration attribute.
+
+    The error lists the valid alternatives: all section names for an unknown
+    section, the section's own keys for an unknown attribute.
+    """
+    if key in _TOP_LEVEL_KEYS:
+        return
+    section, _, attr = key.partition(".")
+    if section not in _SECTIONS:
+        valid = ", ".join(sorted(_SECTIONS) + list(_TOP_LEVEL_KEYS))
+        raise ValueError(
+            f"unknown config override {key!r}: no section {section!r} "
+            f"(valid: {valid})"
+        )
+    section_keys = [spec.name for spec in fields(_SECTIONS[section])]
+    if attr not in section_keys:
+        valid = ", ".join(f"{section}.{name}" for name in section_keys)
+        raise ValueError(
+            f"unknown config override {key!r} (valid {section}.* keys: {valid})"
+        )
+
+
+def apply_overrides(config: MachineConfig, overrides: Mapping[str, object]) -> MachineConfig:
+    """Apply dotted-key *overrides* to *config* in place and return it.
+
+    Every key is validated first (:func:`validate_override_key`), so a typo'd
+    key raises before any attribute is mutated.
+    """
+    for key in overrides:
+        validate_override_key(key)
+    for key, value in overrides.items():
+        if key in _TOP_LEVEL_KEYS:
+            setattr(config, key, value)
+            continue
+        section, _, attr = key.partition(".")
+        setattr(getattr(config, section), attr, value)
+    return config

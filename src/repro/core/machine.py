@@ -15,7 +15,8 @@ is retained for differential testing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MachineConfig
 from repro.core.ids import IdSource
@@ -39,11 +40,51 @@ def _as_program(program: ProgramLike, name: str = "program") -> Program:
     return assemble(program, name=name)
 
 
+#: Construction hooks (see :func:`construction_hooks`).  Config hooks run on
+#: the resolved :class:`MachineConfig` before it is validated and before any
+#: component is built; machine hooks run on the fully-constructed machine.
+#: Workload factories build their machines internally, so this is how the
+#: ``repro.api`` experiment builder applies config overrides and attaches
+#: probes to machines it never sees being constructed — the same underneath
+#: pattern :mod:`repro.snapshot.checkpoint` uses for its policy.
+_CONFIG_HOOKS: List[Callable[[MachineConfig], None]] = []
+_MACHINE_HOOKS: List[Callable[["MMachine"], None]] = []
+
+
+@contextmanager
+def construction_hooks(
+    config_hook: Optional[Callable[[MachineConfig], None]] = None,
+    machine_hook: Optional[Callable[["MMachine"], None]] = None,
+) -> Iterator[None]:
+    """Install hooks on every :class:`MMachine` constructed in the block.
+
+    The hook lists are **process-global and not thread-safe**: nested
+    blocks compose (hooks run in installation order, which is what lets an
+    experiment layer overrides on top of another context), but two threads
+    constructing machines under different hook sets would see each other's
+    hooks — run concurrent experiments in separate processes, as the sweep
+    runner does.
+    """
+    if config_hook is not None:
+        _CONFIG_HOOKS.append(config_hook)
+    if machine_hook is not None:
+        _MACHINE_HOOKS.append(machine_hook)
+    try:
+        yield
+    finally:
+        if config_hook is not None:
+            _CONFIG_HOOKS.remove(config_hook)
+        if machine_hook is not None:
+            _MACHINE_HOOKS.remove(machine_hook)
+
+
 class MMachine:
     """A complete M-Machine: nodes, mesh network, runtime and clock."""
 
     def __init__(self, config: Optional[MachineConfig] = None, install_runtime: bool = True):
         self.config = config or MachineConfig()
+        for config_hook in _CONFIG_HOOKS:
+            config_hook(self.config)
         self.config.validate()
         self.tracer = Tracer(self.config.trace_enabled)
         self.gdt = GlobalDestinationTable()
@@ -81,6 +122,8 @@ class MMachine:
         #: Per-machine checkpoint runtime, or None when no checkpoint policy
         #: is active (see :mod:`repro.snapshot.checkpoint`).
         self._checkpoint = attach_machine(self)
+        for machine_hook in _MACHINE_HOOKS:
+            machine_hook(self)
 
     # ------------------------------------------------------------------ topology
 

@@ -10,6 +10,11 @@ values.
 Parameter matching is on *effective* parameters: the record's explicit
 params overlaid on the workload factory's keyword defaults, so a record that
 omitted ``kernel`` still matches ``kernel="event"``.
+
+Records are parsed into typed :class:`repro.api.result.RunResult` values
+(each :class:`RunRecord` carries one), so section builders can consume the
+structured views — summary counters, parsed timelines, provenance — instead
+of re-deriving them from raw dicts.
 """
 
 from __future__ import annotations
@@ -19,9 +24,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.result import RunResult
+from repro.api.workload import workload_defaults
 from repro.sweep.runner import RESULTS_FILENAME, RUNS_DIRNAME
 from repro.sweep.schema import validate_record
-from repro.workloads import factories
 
 
 class ManifestError(ValueError):
@@ -41,6 +47,13 @@ class RunRecord:
 
     record: Dict[str, object]
     effective_params: Dict[str, object] = field(default_factory=dict)
+    #: The record parsed into the typed interchange form, when built through
+    #: :class:`Manifest` (None only for hand-constructed instances).
+    result: Optional[RunResult] = None
+
+    def to_result(self) -> RunResult:
+        """The typed :class:`RunResult` view of this record."""
+        return self.result if self.result is not None else RunResult.from_record(self.record)
 
     @property
     def run_id(self) -> str:
@@ -90,7 +103,7 @@ _DEFAULTS_CACHE: Dict[str, Dict[str, object]] = {}
 def _effective_params(workload: str, params: Dict[str, object]) -> Dict[str, object]:
     if workload not in _DEFAULTS_CACHE:
         try:
-            _DEFAULTS_CACHE[workload] = dict(factories.workload_params(workload))
+            _DEFAULTS_CACHE[workload] = workload_defaults(workload)
         except KeyError:
             _DEFAULTS_CACHE[workload] = {}
     effective = dict(_DEFAULTS_CACHE[workload])
@@ -135,6 +148,7 @@ class Manifest:
                     effective_params=_effective_params(
                         str(record["workload"]), dict(record.get("params") or {})
                     ),
+                    result=RunResult.from_record(record),
                 )
             )
         manifest.records.sort(key=lambda run: run.run_id)
@@ -184,6 +198,10 @@ class Manifest:
 
     def workloads(self) -> List[str]:
         return sorted({run.workload for run in self.records})
+
+    def results(self) -> List[RunResult]:
+        """All records as typed :class:`RunResult` values (run-id order)."""
+        return [run.to_result() for run in self.records]
 
     def find(self, workload: str, **params: object) -> List[RunRecord]:
         """All ok records of *workload* whose effective params match."""

@@ -15,21 +15,60 @@ long timeline into restartable segments.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Callable, Dict, List, Optional
 
+from repro.api.result import RunResult
 from repro.snapshot.format import read_snapshot
+
+#: Workload name stamped on warm-start measurement-leg results.
+WARM_START_WORKLOAD = "warm-start"
+
+
+def drive_result(
+    machine,
+    max_cycles: int = 1_000_000,
+    workload: str = WARM_START_WORKLOAD,
+    tags: Optional[Dict[str, str]] = None,
+) -> RunResult:
+    """Run the restored machine to user completion and wrap the measurement
+    leg as a typed :class:`~repro.api.result.RunResult` whose provenance
+    records the cycle it resumed from."""
+    start_cycle = machine.cycle
+    start_wall = time.perf_counter()
+    machine.run_until_user_done(max_cycles=max_cycles)
+    metrics: Dict[str, object] = dict(machine.stats().summary())
+    metrics["cycles"] = machine.cycle
+    metrics["measured_cycles"] = machine.cycle - start_cycle
+    return RunResult.from_metrics(
+        workload=workload,
+        params={},
+        metrics=metrics,
+        wall_seconds=time.perf_counter() - start_wall,
+        tags=tags,
+        resumed_from_cycle=start_cycle,
+    )
 
 
 def default_drive(machine, max_cycles: int = 1_000_000) -> Dict[str, object]:
     """Run the restored machine to user completion and report the headline
-    numbers (the measurement leg used by ``repro resume``)."""
-    start_cycle = machine.cycle
-    machine.run_until_user_done(max_cycles=max_cycles)
-    summary = machine.stats().summary()
+    numbers (the measurement leg used by ``repro resume``).
+
+    The legacy dict shape of :func:`drive_result` — the run itself goes
+    through the typed path; the metrics carry the full ``MachineStats``
+    summary plus ``measured_cycles``, so the summary block is rebuilt from
+    them without touching the machine again.
+    """
+    result = drive_result(machine, max_cycles=max_cycles)
+    summary = {
+        key: value
+        for key, value in result.metrics.items()
+        if key != "measured_cycles"
+    }
     return {
-        "resumed_from_cycle": start_cycle,
-        "cycles": machine.cycle,
-        "measured_cycles": machine.cycle - start_cycle,
+        "resumed_from_cycle": result.provenance.resumed_from_cycle,
+        "cycles": result.metrics["cycles"],
+        "measured_cycles": result.metrics["measured_cycles"],
         "summary": summary,
     }
 

@@ -15,6 +15,11 @@ A worker failure (the workload raises) produces a ``status="failed"`` record
 with the traceback; the sweep keeps going, the merged manifest still lists
 every run, and :meth:`SweepRunner.run` reports the failure count so the CLI
 can exit nonzero while leaving a partial-results manifest behind.
+
+Runs execute through the typed facade: each worker builds a
+:class:`repro.api.result.RunResult` and serialises it at the process
+boundary, so the on-disk records are exactly the ``RunResult`` interchange
+form the report subsystem parses back.
 """
 
 from __future__ import annotations
@@ -27,17 +32,22 @@ import sys
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.sweep.schema import SCHEMA_VERSION, make_record, validate_record
+if TYPE_CHECKING:  # pragma: no cover - lazy at runtime (import cycle)
+    from repro.api.result import RunResult
+
+from repro.api.workload import get_workload, workload_names
+from repro.sweep.schema import (  # noqa: F401  (VERIFICATION_FAILED re-exported)
+    SCHEMA_VERSION,
+    VERIFICATION_FAILED,
+    validate_record,
+)
 from repro.sweep.spec import RunSpec, SweepSpec
-from repro.workloads import factories
 
 RESULTS_FILENAME = "sweep-results.json"
 RUNS_DIRNAME = "runs"
 CHECKPOINTS_DIRNAME = "checkpoints"
-
-VERIFICATION_FAILED = "workload verification failed"
 
 
 def record_from_metrics(
@@ -49,19 +59,19 @@ def record_from_metrics(
     """The (schema-valid) record for a completed workload run.
 
     Shared by the sweep runner and the pytest benchmark harness so that both
-    map ``verified`` to the record status the same way.
+    map ``verified`` to the record status the same way; the record is the
+    serialised form of a :class:`~repro.api.result.RunResult`.
     """
-    status = "ok" if metrics.get("verified", True) else "failed"
-    return make_record(
-        run_id=spec.run_id,
+    from repro.api.result import RunResult
+
+    return RunResult.from_metrics(
         workload=spec.workload,
         params=spec.params,
-        status=status,
         metrics=metrics,
         wall_seconds=wall_seconds,
-        error=None if status == "ok" else VERIFICATION_FAILED,
         tags=tags if tags is not None else spec.tags,
-    )
+        run_id=spec.run_id,
+    ).to_record()
 
 
 def store_record(record: Dict[str, object], directory: str) -> str:
@@ -94,27 +104,28 @@ def execute_run(
     start = time.perf_counter()
     resumed_from = None
     try:
+        workload = get_workload(spec.workload)
         if checkpoint_every is not None and checkpoint_dir is not None:
             from repro.snapshot.checkpoint import checkpoint_context
 
             with checkpoint_context(checkpoint_dir, every=checkpoint_every) as policy:
-                metrics = factories.run_workload(spec.workload, spec.params)
+                metrics = workload.call(spec.params)
             if policy.resumes:
                 resumed_from = policy.resumes[0][1]
         else:
-            metrics = factories.run_workload(spec.workload, spec.params)
+            metrics = workload.call(spec.params)
         record = record_from_metrics(spec, metrics, time.perf_counter() - start)
     except Exception:
-        record = make_record(
-            run_id=spec.run_id,
+        from repro.api.result import RunResult
+
+        record = RunResult.from_error(
             workload=spec.workload,
             params=spec.params,
-            status="failed",
-            metrics={},
-            wall_seconds=time.perf_counter() - start,
             error=traceback.format_exc(limit=20),
+            wall_seconds=time.perf_counter() - start,
             tags=spec.tags,
-        )
+            run_id=spec.run_id,
+        ).to_record()
     if resumed_from is not None:
         record["tags"] = dict(record.get("tags") or {})
         record["tags"]["resumed_from_cycle"] = str(resumed_from)
@@ -150,6 +161,13 @@ class SweepResult:
     @property
     def ok(self) -> bool:
         return not self.failed
+
+    @property
+    def results(self) -> List["RunResult"]:
+        """The records parsed back into typed :class:`RunResult` values."""
+        from repro.api.result import RunResult
+
+        return [RunResult.from_record(record) for record in self.records]
 
 
 class SweepRunner:
@@ -210,7 +228,7 @@ class SweepRunner:
 
     def run(self, spec: SweepSpec) -> SweepResult:
         started = time.perf_counter()
-        problems = spec.validate(known_workloads=factories.workload_names())
+        problems = spec.validate(known_workloads=workload_names())
         if problems:
             raise ValueError("invalid sweep spec: " + "; ".join(problems))
         runs = spec.expand()

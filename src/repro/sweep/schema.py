@@ -2,9 +2,15 @@
 
 Every run — whether executed by ``repro sweep``, by a benchmark under
 pytest, or by hand — is recorded as one JSON object with the same shape, so
-results from different harnesses can be merged and compared.  Validation is
-hand-rolled (the simulator is pure stdlib); ``repro validate`` and the CI
-``sweep-smoke`` job both go through :func:`validate_results`.
+results from different harnesses can be merged and compared.  A record is
+the serialised form of a :class:`repro.api.result.RunResult` (see
+``RunResult.to_record``/``from_record`` for the typed view; this module
+stays dependency-free so workers can validate without importing the
+facade).  Validation is hand-rolled (the simulator is pure stdlib);
+``repro validate`` and the CI ``sweep-smoke`` job both go through
+:func:`validate_results`, and ``repro validate --roundtrip`` additionally
+checks that every record survives the ``record -> RunResult -> record``
+round-trip byte-identically.
 """
 
 from __future__ import annotations
@@ -13,6 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 #: Bump when the record shape changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: The ``error`` text of a record whose workload ran to completion but
+#: failed its own correctness check.
+VERIFICATION_FAILED = "workload verification failed"
 
 #: Fields every record must carry, with their accepted types.
 _REQUIRED_FIELDS = {

@@ -41,6 +41,24 @@ def _canonical(params: Dict[str, object]) -> str:
     return json.dumps(params, sort_keys=True, separators=(",", ":"), default=str)
 
 
+def config_fingerprint(workload: str, params: Dict[str, object]) -> str:
+    """The 8-hex-digit digest of one ``(workload, params)`` configuration.
+
+    This is the hash suffix of :attr:`RunSpec.run_id` and the
+    ``fingerprint`` of a :class:`repro.api.RunResult`: equal fingerprints
+    mean the same workload ran with the same explicit parameters.
+    """
+    return hashlib.sha256((workload + _canonical(params)).encode()).hexdigest()[:8]
+
+
+def run_id_for(workload: str, params: Dict[str, object]) -> str:
+    """The deterministic run id of one ``(workload, params)`` pair."""
+    parts = [workload]
+    for key in sorted(params):
+        parts.append(f"{key}-{_slug(params[key])}")
+    return "_".join(parts)[:96] + "_" + config_fingerprint(workload, params)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One fully-resolved simulation run."""
@@ -57,13 +75,7 @@ class RunSpec:
         suffix disambiguates runs whose readable parts collide (and covers
         parameters whose slugs collapse).
         """
-        parts = [self.workload]
-        for key in sorted(self.params):
-            parts.append(f"{key}-{_slug(self.params[key])}")
-        digest = hashlib.sha256(
-            (self.workload + _canonical(self.params)).encode()
-        ).hexdigest()[:8]
-        return "_".join(parts)[:96] + "_" + digest
+        return run_id_for(self.workload, self.params)
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -6,6 +6,12 @@ parallelism across H-Threads), the CC-register loop synchronisation of
 Figure 6, and microbenchmark accesses for Table 1 / Figure 9.  This package
 generates those kernels as MAP assembly plus the data placement and expected
 results needed to verify them.
+
+The registry surface re-exported here (``WORKLOADS``, ``register``,
+``run_workload``, ``workload_params``, ``workload_names``) is the
+deprecated pre-:mod:`repro.api` dialect — it keeps working bit-exactly but
+warns once per process; new code should use the typed facade
+(``from repro import workload, run_workload, get_workload``).
 """
 
 from repro.workloads.stencil import (

@@ -9,9 +9,12 @@ same code path and therefore report the exact same cycle counts.
 
 Conventions:
 
-* Factories are registered under a kebab-case name with :func:`register`.
+* Factories are registered under a kebab-case name with the
+  :func:`repro.api.workload` decorator (tagged with the paper section they
+  reproduce), which binds each module attribute to a callable
+  :class:`~repro.api.workload.WorkloadSpec`.
 * Every factory accepts only keyword arguments, all of which have defaults,
-  so ``run_workload(name)`` always works.
+  so running a workload with no parameters always works.
 * Factories that drive a whole machine accept ``mesh`` (an ``(x, y, z)``
   tuple or list) and ``kernel`` (``"event"`` or ``"naive"``) so sweeps can
   scale the mesh and compare simulation kernels.
@@ -19,58 +22,92 @@ Conventions:
   factories report ``cycles`` (simulated cycles) and ``verified`` (the
   workload's own correctness check); analytic factories (area model, GTLB
   mapping, Table 1) report their own headline numbers.
+
+The pre-``repro.api`` module surface (``WORKLOADS``, :func:`register`,
+:func:`run_workload`, :func:`workload_params`, :func:`workload_names`)
+remains importable as deprecated, bit-exact shims over the typed registry;
+new code should use :mod:`repro.api` instead.
 """
 
 from __future__ import annotations
 
-import inspect
 import json
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import MachineConfig
+from repro.api.deprecation import warn_once
+from repro.api.workload import (
+    LegacyRegistry,
+    WorkloadSpec,
+    get_workload,
+    register_spec,
+    workload,
+)
+from repro.api.workload import workload_defaults as _api_workload_defaults
+from repro.api.workload import workload_names as _api_workload_names
+from repro.core.config import MachineConfig, apply_overrides
 from repro.core.machine import MMachine
 
 WorkloadFactory = Callable[..., Dict[str, object]]
 
-#: Registry of workload name -> factory.
-WORKLOADS: Dict[str, WorkloadFactory] = {}
+#: Deprecated adapter view of the typed registry (``name -> bare callable``);
+#: kept so existing ``WORKLOADS[...]`` reads and test monkeypatching work.
+WORKLOADS = LegacyRegistry()
 
 HEAP = 0x10000
 REGION = 0x40000
 
 
 def register(name: str) -> Callable[[WorkloadFactory], WorkloadFactory]:
-    """Register *factory* under *name* (decorator)."""
+    """Deprecated: register *factory* under *name* (decorator).
+
+    Use the :func:`repro.api.workload` decorator instead, which also records
+    a description and paper-section tag.
+    """
+    warn_once(
+        "workloads.factories.register",
+        "repro.workloads.factories.register is deprecated; "
+        "use the @repro.workload decorator instead",
+    )
 
     def wrap(factory: WorkloadFactory) -> WorkloadFactory:
-        if name in WORKLOADS:
-            raise ValueError(f"duplicate workload name {name!r}")
-        WORKLOADS[name] = factory
+        register_spec(WorkloadSpec.from_callable(name, factory))
         return factory
 
     return wrap
 
 
 def workload_names() -> List[str]:
-    return sorted(WORKLOADS)
+    """Deprecated: all workload names (use :func:`repro.api.workload_names`)."""
+    warn_once(
+        "workloads.factories.workload_names",
+        "repro.workloads.factories.workload_names is deprecated; "
+        "use repro.api.workload_names instead",
+    )
+    return _api_workload_names()
 
 
 def workload_params(name: str) -> Dict[str, object]:
-    """Default parameters of workload *name* (its keyword defaults)."""
-    factory = WORKLOADS[name]
-    signature = inspect.signature(factory)
-    return {
-        param.name: param.default
-        for param in signature.parameters.values()
-        if param.default is not inspect.Parameter.empty
-    }
+    """Deprecated: default parameters of workload *name* (use
+    :func:`repro.api.workload_defaults`)."""
+    warn_once(
+        "workloads.factories.workload_params",
+        "repro.workloads.factories.workload_params is deprecated; "
+        "use repro.api.workload_defaults instead",
+    )
+    return _api_workload_defaults(name)
 
 
 def run_workload(name: str, params: Optional[Dict[str, object]] = None) -> Dict[str, object]:
-    """Run workload *name* with *params* and return its metrics dict."""
-    if name not in WORKLOADS:
-        raise KeyError(f"unknown workload {name!r}; known: {', '.join(workload_names())}")
-    return WORKLOADS[name](**dict(params or {}))
+    """Deprecated: run workload *name* with *params* and return its metrics
+    dict (use :func:`repro.api.run_workload`, which returns a typed
+    :class:`~repro.api.result.RunResult`)."""
+    warn_once(
+        "workloads.factories.run_workload",
+        "repro.workloads.factories.run_workload is deprecated; use "
+        "repro.api.run_workload (returns a RunResult; its .metrics is this "
+        "function's return value) instead",
+    )
+    return get_workload(name).call(params)
 
 
 # ---------------------------------------------------------------------------
@@ -91,9 +128,7 @@ def _machine(
         config.runtime.shared_memory_mode = shared_memory_mode
     if trace_enabled is not None:
         config.trace_enabled = trace_enabled
-    for key, value in config_overrides.items():
-        section, _, attr = key.partition(".")
-        setattr(getattr(config, section), attr, value)
+    apply_overrides(config, config_overrides)
     return MMachine(config)
 
 
@@ -117,7 +152,7 @@ def _base_metrics(machine: MMachine) -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 
-@register("stencil")
+@workload("stencil", section="Figure 5")
 def stencil(
     kind: str = "7pt",
     n_hthreads: int = 1,
@@ -147,7 +182,7 @@ def stencil(
 # ---------------------------------------------------------------------------
 
 
-@register("cc-sync")
+@workload("cc-sync", section="Figure 6")
 def cc_sync(
     iterations: int = 50,
     mesh: Sequence[int] = (1, 1, 1),
@@ -172,7 +207,7 @@ def cc_sync(
     return metrics
 
 
-@register("cc-barrier")
+@workload("cc-barrier", section="Figure 6")
 def cc_barrier(
     iterations: int = 50,
     clusters: int = 4,
@@ -202,7 +237,7 @@ def cc_barrier(
 # ---------------------------------------------------------------------------
 
 
-@register("remote-store-latency")
+@workload("remote-store-latency", section="Figure 7")
 def remote_store_latency(
     mesh: Sequence[int] = (2, 1, 1),
     kernel: str = "event",
@@ -240,7 +275,7 @@ def remote_store_latency(
     return metrics
 
 
-@register("message-stream")
+@workload("message-stream", section="Figure 7")
 def message_stream(
     count: int = 64,
     mesh: Sequence[int] = (2, 1, 1),
@@ -264,7 +299,7 @@ def message_stream(
     return metrics
 
 
-@register("ping-pong")
+@workload("ping-pong", section="Figure 7")
 def ping_pong(
     rounds: int = 16,
     mesh: Sequence[int] = (2, 1, 1),
@@ -339,7 +374,7 @@ wait:   ld i4, i2
 # ---------------------------------------------------------------------------
 
 
-@register("gtlb-mapping")
+@workload("gtlb-mapping", section="Figure 8")
 def gtlb_mapping(
     pages_per_node: int = 2,
     num_pages: int = 64,
@@ -380,7 +415,7 @@ def gtlb_mapping(
 # ---------------------------------------------------------------------------
 
 
-@register("remote-access-timeline")
+@workload("remote-access-timeline", section="Figure 9")
 def remote_access_timeline(
     kind: str = "read",
     mesh: Sequence[int] = (2, 1, 1),
@@ -424,7 +459,7 @@ def remote_access_timeline(
 # ---------------------------------------------------------------------------
 
 
-@register("table1-access-times")
+@workload("table1-access-times", section="Table 1")
 def table1_access_times() -> Dict[str, object]:
     """All twelve Table 1 access-time measurements."""
     from repro.analysis.latency import SCENARIOS, AccessLatencyHarness
@@ -443,7 +478,7 @@ def table1_access_times() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 
-@register("vthread-interleave")
+@workload("vthread-interleave", section="Ablation A1 (Section 3.2)")
 def vthread_interleave(
     num_threads: int = 4,
     chain_loads: int = 24,
@@ -473,7 +508,7 @@ def vthread_interleave(
     return metrics
 
 
-@register("issue-policy")
+@workload("issue-policy", section="Ablation A2 (Section 3.4)")
 def issue_policy(
     policy: str = "event-priority",
     iterations: int = 100,
@@ -500,7 +535,7 @@ def issue_policy(
 # ---------------------------------------------------------------------------
 
 
-@register("remote-memory")
+@workload("remote-memory", section="Ablation A3 (Sections 4.2/4.3)")
 def remote_memory(
     mode: str = "remote",
     repeats: int = 16,
@@ -543,7 +578,7 @@ loop:   ld i4, i1          ; read the same remote word
     return metrics
 
 
-@register("coherence")
+@workload("coherence", section="Ablation A3 (Section 4.3)")
 def coherence(
     repeats: int = 16,
     mesh: Sequence[int] = (2, 1, 1),
@@ -560,7 +595,7 @@ def coherence(
 # ---------------------------------------------------------------------------
 
 
-@register("flood")
+@workload("flood", section="Ablation A4 (Section 3.1)")
 def flood(
     send_credits: int = 16,
     queue_words: int = 128,
@@ -597,7 +632,7 @@ def flood(
     return metrics
 
 
-@register("many-to-one-flood")
+@workload("many-to-one-flood", section="Ablation A4 (Section 3.1)")
 def many_to_one_flood(
     senders: int = 3,
     messages_each: int = 8,
@@ -642,7 +677,7 @@ def many_to_one_flood(
 # ---------------------------------------------------------------------------
 
 
-@register("area-model")
+@workload("area-model", section="Sections 1/5")
 def area_model(num_nodes: int = 32) -> Dict[str, object]:
     """The silicon-area / peak-performance comparison of Sections 1 and 5."""
     from repro.core.area_model import AreaModel, TECH_1993, TECH_1996

@@ -12,7 +12,7 @@ import pytest
 from repro.snapshot.checkpoint import SnapshotTaken, checkpoint_context
 from repro.sweep.runner import SweepRunner
 from repro.sweep.spec import AxesGroup, RunSpec, SweepSpec
-from repro.workloads import factories
+from repro.api import get_workload
 
 SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "src")
 
@@ -30,12 +30,12 @@ def _interrupt_run(checkpoint_dir: str, at_cycle: int) -> None:
     with checkpoint_context(checkpoint_dir, snapshot_at=at_cycle,
                             stop_after_snapshot=True):
         with pytest.raises(SnapshotTaken):
-            factories.run_workload(RUN.workload, RUN.params)
+            get_workload(RUN.workload).call(RUN.params)
 
 
 class TestRunnerResume:
     def test_resumes_from_checkpoint_not_cycle_zero(self, tmp_path):
-        reference = factories.run_workload(RUN.workload, RUN.params)
+        reference = get_workload(RUN.workload).call(RUN.params)
 
         results_dir = str(tmp_path / "results")
         checkpoint_dir = os.path.join(results_dir, "checkpoints", RUN.run_id)
@@ -60,7 +60,7 @@ class TestRunnerResume:
         assert not os.path.exists(checkpoint_dir)
 
     def test_checkpointing_does_not_change_results(self, tmp_path):
-        reference = factories.run_workload(RUN.workload, RUN.params)
+        reference = get_workload(RUN.workload).call(RUN.params)
         runner = SweepRunner(str(tmp_path / "results"), checkpoint_every=40,
                              log=lambda _: None)
         result = runner.run(SPEC)
@@ -134,5 +134,5 @@ class TestKillAndResume:
         resumed_from = int(record["tags"]["resumed_from_cycle"])
         assert resumed_from >= self.CHECKPOINT_EVERY, "resume started from cycle 0"
 
-        reference = factories.run_workload("ping-pong", {"rounds": self.ROUNDS})
+        reference = get_workload("ping-pong").call({"rounds": self.ROUNDS})
         assert record["metrics"] == reference

@@ -12,10 +12,10 @@ import json
 
 import pytest
 
+from repro.api import get_workload
 from repro.cli import main
 from repro.sweep import get_spec, validate_results
 from repro.sweep.runner import RESULTS_FILENAME
-from repro.workloads import factories
 
 #: (workload, params) pairs re-run in-process for the cycle-count comparison;
 #: a representative of every machine-driving figure and ablation.
@@ -64,7 +64,7 @@ def test_sweep_cycle_counts_match_benchmark_runs(sweep_results):
         run_id = RunSpec(workload=workload, params=params).run_id
         assert run_id in by_id, f"paper-figures is missing {workload} {params}"
         sweep_metrics = by_id[run_id]["metrics"]
-        bench_metrics = factories.run_workload(workload, params)
+        bench_metrics = get_workload(workload).call(params)
         assert sweep_metrics["cycles"] == bench_metrics["cycles"], (workload, params)
         assert sweep_metrics == bench_metrics, (workload, params)
 

@@ -1,0 +1,175 @@
+"""Back-compat coverage for the deprecated pre-``repro.api`` dialects.
+
+Two guarantees, both asserted here:
+
+* **bit-exact**: the old ``run_workload(name, dict)`` path and a new-style
+  ``Experiment`` run serialise to byte-identical ``RunResult`` records for
+  every scenario-matrix workload (wall time zeroed — it is the one
+  legitimately nondeterministic field);
+* **warn once**: each shim emits exactly one ``ReproDeprecationWarning``
+  per process, the first time it is used.
+
+The suite-wide filter in ``setup.cfg`` turns ``ReproDeprecationWarning``
+into an error, so the deliberate old-path calls here always go through
+``pytest.warns`` (which overrides the filter).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import Experiment, ReproDeprecationWarning, RunResult, unregister
+from repro.api.deprecation import reset_warnings
+from repro.workloads import factories
+
+#: The five scenario-matrix workloads (smoke-sized parameters).
+SCENARIOS = [
+    ("stencil", {"kind": "7pt", "n_hthreads": 1}),
+    ("ping-pong", {"rounds": 4}),
+    ("flood", {"messages": 8}),
+    ("remote-memory", {"repeats": 6}),
+    ("coherence", {"repeats": 6}),
+]
+
+
+def _old_style_record(workload, params):
+    """Serialise an old-dialect run the way the sweep runner would."""
+    reset_warnings()
+    with pytest.warns(ReproDeprecationWarning):
+        metrics = factories.run_workload(workload, dict(params))
+    return RunResult.from_metrics(
+        workload=workload, params=params, metrics=metrics, wall_seconds=0.0
+    ).to_json()
+
+
+def _new_style_record(workload, params):
+    with Experiment.builder().workload(workload, **params).build() as experiment:
+        result = experiment.run()
+    return result.replace(wall_seconds=0.0).to_json()
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("workload,params", SCENARIOS,
+                             ids=[name for name, _ in SCENARIOS])
+    def test_old_and_new_dialects_serialise_identically(self, workload, params):
+        assert _old_style_record(workload, params) == _new_style_record(
+            workload, params
+        )
+
+    def test_shimmed_workload_params_match_typed_defaults(self):
+        from repro.api import workload_defaults
+
+        reset_warnings()
+        with pytest.warns(ReproDeprecationWarning):
+            via_shim = factories.workload_params("stencil")
+        assert via_shim == workload_defaults("stencil")
+
+    def test_shimmed_workload_names_match_typed_names(self):
+        from repro.api import workload_names
+
+        reset_warnings()
+        with pytest.warns(ReproDeprecationWarning):
+            via_shim = factories.workload_names()
+        assert via_shim == workload_names()
+
+    def test_shimmed_register_still_registers(self):
+        reset_warnings()
+        with pytest.warns(ReproDeprecationWarning):
+            decorator = factories.register("tmp-shim-registered")
+
+        def fake(n: int = 1):
+            return {"verified": True, "n": n}
+
+        try:
+            decorator(fake)
+            with pytest.warns(ReproDeprecationWarning):
+                assert factories.run_workload("tmp-shim-registered") == {
+                    "verified": True,
+                    "n": 1,
+                }
+        finally:
+            unregister("tmp-shim-registered")
+
+    def test_unknown_workload_error_is_unchanged(self):
+        reset_warnings()
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(KeyError, match="unknown workload 'nope'; known:"):
+                factories.run_workload("nope")
+
+
+class TestWarnOnce:
+    def _collect(self, call):
+        """Warnings emitted by *call* with every filter disabled."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call()
+        return [w for w in caught if issubclass(w.category, ReproDeprecationWarning)]
+
+    @pytest.mark.parametrize(
+        "shim",
+        [
+            lambda: factories.run_workload("area-model"),
+            lambda: factories.workload_params("stencil"),
+            lambda: factories.workload_names(),
+            lambda: factories.register("tmp-warn-once"),
+        ],
+        ids=["run_workload", "workload_params", "workload_names", "register"],
+    )
+    def test_each_shim_warns_exactly_once(self, shim):
+        reset_warnings()
+        assert len(self._collect(shim)) == 1, "first call must warn"
+        assert self._collect(shim) == [], "second call must stay silent"
+
+    def test_warning_message_names_the_replacement(self):
+        reset_warnings()
+        with pytest.warns(ReproDeprecationWarning, match="repro.api.run_workload"):
+            factories.run_workload("area-model")
+
+    def test_reset_rearms_the_warning(self):
+        reset_warnings()
+        assert len(self._collect(lambda: factories.workload_names())) == 1
+        reset_warnings()
+        assert len(self._collect(lambda: factories.workload_names())) == 1
+
+    def test_category_is_a_deprecation_warning(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+    def test_error_filter_does_not_consume_the_warn_once_key(self):
+        """Under an ``error::`` filter the raise must leave the key armed:
+        every deprecated call keeps failing loudly, not just the first
+        (otherwise CI's gate would only catch one internal misuse per
+        process)."""
+        reset_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            with pytest.raises(ReproDeprecationWarning):
+                factories.workload_names()
+            with pytest.raises(ReproDeprecationWarning):
+                factories.workload_names()
+
+
+class TestInternalCodeIsShimFree:
+    """The suite-wide error filter proves this globally; these spot-check
+    the hottest internal paths explicitly so a regression fails close to
+    its cause rather than in an unrelated test."""
+
+    def test_sweep_execute_run_does_not_warn(self):
+        from repro.sweep.runner import execute_run
+        from repro.sweep.spec import RunSpec
+
+        reset_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            record = execute_run(RunSpec("area-model", {}))
+        assert record["status"] == "ok"
+
+    def test_cli_run_does_not_warn(self, capsys):
+        from repro.cli import main
+
+        reset_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            assert main(["run", "gtlb-mapping", "--param", "lookups=50"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["verified"] is True

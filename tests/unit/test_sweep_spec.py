@@ -16,7 +16,7 @@ from repro.sweep import (
     validate_record,
     validate_results,
 )
-from repro.workloads import factories
+from repro.api import workload_names
 
 
 def _quick_spec():
@@ -84,11 +84,11 @@ class TestExpansion:
 
 class TestSpecValidation:
     def test_valid_spec_has_no_problems(self):
-        assert _quick_spec().validate(factories.workload_names()) == []
+        assert _quick_spec().validate(workload_names()) == []
 
     def test_unknown_workload_is_reported(self):
         spec = SweepSpec(name="bad", groups=[AxesGroup("no-such-workload")])
-        problems = spec.validate(factories.workload_names())
+        problems = spec.validate(workload_names())
         assert any("no-such-workload" in problem for problem in problems)
 
     def test_empty_spec_is_reported(self):
@@ -137,7 +137,7 @@ class TestBuiltinSpecs:
 
     def test_all_builtins_validate_against_registry(self):
         for name, spec in builtin_specs().items():
-            assert spec.validate(factories.workload_names()) == [], name
+            assert spec.validate(workload_names()) == [], name
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):
