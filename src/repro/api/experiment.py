@@ -255,7 +255,7 @@ class Experiment:
     @property
     def run_id(self) -> str:
         """The deterministic run id of this experiment's configuration."""
-        from repro.sweep.spec import run_id_for
+        from repro.sweep.spec import run_id_for  # noqa: PLC0415
 
         return run_id_for(self.spec.name, self.params)
 
@@ -282,7 +282,7 @@ class Experiment:
                 )
             policy = None
             if self.checkpoint_dir is not None:
-                from repro.snapshot.checkpoint import checkpoint_context
+                from repro.snapshot.checkpoint import checkpoint_context  # noqa: PLC0415
 
                 policy = stack.enter_context(
                     checkpoint_context(self.checkpoint_dir, every=self.checkpoint_every)
@@ -302,7 +302,7 @@ class Experiment:
         return result
 
     def _apply_overrides(self, config: Any) -> None:
-        from repro.core.config import apply_overrides
+        from repro.core.config import apply_overrides  # noqa: PLC0415
 
         apply_overrides(config, self.overrides)
 

@@ -228,7 +228,7 @@ class RunResult:
     def effective_params(self) -> Dict[str, object]:
         """Explicit params overlaid on the workload's registered defaults
         (falls back to the explicit params for unregistered workloads)."""
-        from repro.api.workload import get_workload
+        from repro.api.workload import get_workload  # noqa: PLC0415
 
         try:
             spec = get_workload(self.workload)

@@ -22,6 +22,7 @@ the registry is populated on first use without an import cycle.
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field, make_dataclass
 from typing import (
     TYPE_CHECKING,
@@ -169,9 +170,8 @@ class WorkloadSpec:
         tags: Optional[Mapping[str, str]] = None,
     ) -> "RunResult":
         """Run the workload and wrap the outcome as a timed ``RunResult``."""
-        import time
 
-        from repro.api.result import RunResult
+        from repro.api.result import RunResult  # noqa: PLC0415
 
         merged = dict(params or {})
         self.validate_params(merged)

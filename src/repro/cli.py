@@ -5,6 +5,9 @@ Subcommands:
 * ``repro list`` — available workloads and built-in sweep specs.
 * ``repro info`` — the default machine configuration as JSON.
 * ``repro run WORKLOAD [--param k=v ...]`` — one workload, metrics as JSON.
+* ``repro profile WORKLOAD [--sort cumtime|tottime|calls] [--limit N]`` —
+  run one workload under :mod:`cProfile` and print the hottest functions
+  (host-side cost, for tuning the simulator itself).
 * ``repro snapshot WORKLOAD --at-cycle C --out FILE`` — run a workload's
   machine to cycle C, save a snapshot, and stop.
 * ``repro resume SNAPSHOT [--fanout K]`` — restore a snapshot (in this
@@ -32,8 +35,11 @@ All workload execution goes through the typed :mod:`repro.api` facade.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
+import pstats
 import sys
 import tempfile
 from typing import Dict, List, Optional, Sequence
@@ -70,7 +76,7 @@ def parse_params(pairs: Sequence[str]) -> Dict[str, object]:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro import __version__
+    from repro import __version__  # noqa: PLC0415
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
             "override one workload parameter (repeatable); values are "
             "parsed as JSON when possible"
         ),
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run one workload under cProfile and print the hottest functions",
+    )
+    profile.add_argument("workload", help="workload name (see 'repro list')")
+    profile.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override one workload parameter (repeatable); values are "
+            "parsed as JSON when possible"
+        ),
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumtime", "tottime", "calls"),
+        default="cumtime",
+        help="pstats sort column (default: cumtime)",
+    )
+    profile.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of rows to print (default: 25)",
     )
 
     snapshot = subparsers.add_parser(
@@ -277,8 +312,8 @@ def _cmd_list() -> int:
 
 
 def _cmd_info() -> int:
-    from repro import MachineConfig, __version__
-    from repro.snapshot.format import SNAPSHOT_SCHEMA_VERSION, config_to_dict
+    from repro import MachineConfig, __version__  # noqa: PLC0415
+    from repro.snapshot.format import SNAPSHOT_SCHEMA_VERSION, config_to_dict  # noqa: PLC0415
 
     config = MachineConfig()
     mesh = config.network.mesh_shape
@@ -303,7 +338,7 @@ def _cmd_info() -> int:
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
-    from repro.snapshot.checkpoint import SnapshotTaken, checkpoint_context
+    from repro.snapshot.checkpoint import SnapshotTaken, checkpoint_context  # noqa: PLC0415
 
     try:
         params = parse_params(args.param)
@@ -332,7 +367,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        from repro.snapshot.format import read_snapshot, write_snapshot
+        from repro.snapshot.format import read_snapshot, write_snapshot  # noqa: PLC0415
 
         document = read_snapshot(policy_path)
         write_snapshot(document, args.out)
@@ -347,8 +382,8 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
-    from repro.snapshot import SnapshotError
-    from repro.snapshot.warmstart import fan_out_parallel
+    from repro.snapshot import SnapshotError  # noqa: PLC0415
+    from repro.snapshot.warmstart import fan_out_parallel  # noqa: PLC0415
 
     if args.fanout < 1 or args.jobs < 1:
         print("repro resume: --fanout and --jobs must be >= 1", file=sys.stderr)
@@ -384,6 +419,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     payload = {"run_id": result.run_id, "metrics": dict(result.metrics)}
     print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if result.ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        params = parse_params(args.param)
+    except argparse.ArgumentTypeError as error:
+        print(f"repro profile: {error}", file=sys.stderr)
+        return 2
+    if args.limit < 1:
+        print("repro profile: --limit must be >= 1", file=sys.stderr)
+        return 2
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        try:
+            result = run_workload(args.workload, params)
+        finally:
+            profiler.disable()
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"repro profile: {message}", file=sys.stderr)
+        return 2
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    print(f"workload {args.workload}  run_id {result.run_id}  "
+          f"sort {args.sort}  top {args.limit}")
+    print(stream.getvalue(), end="")
     return 0 if result.ok else 1
 
 
@@ -441,8 +505,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.report import Manifest, ManifestError, render_report
-    from repro.report.compare import failures, summary_line
+    from repro.report import Manifest, ManifestError, render_report  # noqa: PLC0415
+    from repro.report.compare import failures, summary_line  # noqa: PLC0415
 
     try:
         manifest = Manifest.load(args.manifest)
@@ -511,6 +575,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
     if args.command == "resume":

@@ -19,6 +19,22 @@ issued at cycle *t* can feed a dependent instruction at cycle *t + L*, and a
 cache-hit load (memory-system latency of two cycles plus the two switch
 traversals) satisfies a dependent instruction three cycles after issue, as in
 Table 1 of the paper.
+
+The issue stage has two implementations selected by ``sim.compile_dispatch``:
+
+* the **interpreted** path (:meth:`Cluster._issue_slow`) re-derives operand
+  kinds and the opcode dispatch from the decoded instruction every cycle;
+* the **compiled** path (:meth:`Cluster._issue_fast`) resolves each program
+  once into :class:`~repro.cluster.dispatch.CompiledInstruction` plans
+  (readiness steps over flat register offsets, bound operand readers and
+  executors) and runs those.  Plans are derived state, cached per slot keyed
+  on the ``Program`` object identity, and never serialised: a snapshot
+  restore installs new ``Program`` objects and recompiles on first issue.
+
+Both paths are bit-exact in statistics, traces and snapshots
+(``tests/integration/test_dispatch_equivalence.py`` is the differential
+gate); instructions the compiler does not cover (sends, remote sources,
+malformed references) transparently fall back to the interpreted machinery.
 """
 
 from __future__ import annotations
@@ -49,6 +65,14 @@ from repro.isa.program import Program
 from repro.memory.guarded_pointer import GuardedPointer, PointerPermission, ProtectionError
 from repro.memory.page_table import BlockStatus
 from repro.memory.requests import MemOpKind, MemRequest
+from repro.snapshot.values import (
+    decode_counter,
+    decode_value,
+    encode_counter,
+    encode_value,
+)
+
+_RUNNABLE = ThreadState.RUNNABLE
 
 
 @dataclass
@@ -66,15 +90,6 @@ class RegWrite:
     clear_pending: bool = False
     #: Human-readable origin, for traces.
     origin: str = ""
-
-
-@dataclass
-class _Writeback:
-    due_cycle: int
-    slot: int
-    ref: RegisterRef
-    value: object
-    clear_pending: bool = True
 
 
 class SimulationError(Exception):
@@ -99,26 +114,43 @@ class Cluster:
         node,
         config: Optional[ClusterConfig] = None,
         node_config: Optional[NodeConfig] = None,
+        compile_dispatch: bool = True,
     ):
         self.id = cluster_id
         self.node = node
         self.config = config or ClusterConfig()
         self.node_config = node_config or NodeConfig()
+        num_slots = self.node_config.num_vthread_slots
         self.contexts: List[HThreadContext] = [
             HThreadContext(slot=slot, cluster_id=cluster_id, config=self.config)
-            for slot in range(self.node_config.num_vthread_slots)
+            for slot in range(num_slots)
         ]
         self.icache = InstructionCache(self.config, name=f"n{getattr(node, 'node_id', '?')}c{cluster_id}")
-        self.policy = make_issue_policy(self.config, self.node_config.num_vthread_slots)
-        self._writebacks: List[_Writeback] = []
-        # Statistics
+        self.policy = make_issue_policy(self.config, num_slots)
+        #: In-flight local writebacks as ``(due_cycle, slot, ref, value,
+        #: clear_pending)`` tuples (plain tuples, not objects: the issue
+        #: stage appends one per value-producing operation).
+        self._writebacks: List[tuple] = []
+        self._compile_dispatch = compile_dispatch
+        #: Per-slot ``(program, plans)`` dispatch-plan cache (derived state,
+        #: never serialised; see :meth:`_slot_plans`).
+        self._plan_cache: List[Optional[tuple]] = [None] * num_slots
+        #: Per-slot queue-name -> hardware-queue bindings (derived state;
+        #: compiled plans carry queue *names* so they stay cluster-neutral
+        #: and shareable, and this cache makes the per-cycle resolution O(1)).
+        self._queue_cache: List[dict] = [dict() for _ in range(num_slots)]
+        # Statistics.  The by-unit/by-slot counters are struct-of-arrays on
+        # the hot path: the compiled issue stage bumps flat integer lists and
+        # the Counters are folded lazily on read (`_settle_fast_stats`).
         self.instructions_issued = 0
         self.operations_issued = 0
-        self.operations_by_unit = Counter()
+        self._operations_by_unit = Counter()
         self.idle_cycles = 0
         self.no_ready_cycles = 0
-        self.issue_by_slot = Counter()
+        self._issue_by_slot = Counter()
         self.exceptions_raised = 0
+        self._unit_fast = [0, 0, 0]  # indexed like dispatch.UNIT_VALUES
+        self._slot_fast = [0] * num_slots
 
     # ------------------------------------------------------------------ loading
 
@@ -131,6 +163,7 @@ class Cluster:
     ) -> HThreadContext:
         context = self.contexts[slot]
         self.icache.load(slot, program)
+        self._plan_cache[slot] = None
         context.load(program, initial_registers, entry)
         return context
 
@@ -144,7 +177,7 @@ class Cluster:
         """True while any resident H-Thread has not halted or writebacks are
         outstanding."""
         return (
-            any(ctx.state is ThreadState.RUNNABLE for ctx in self.contexts)
+            any(ctx.state is _RUNNABLE for ctx in self.contexts)
             or bool(self._writebacks)
         )
 
@@ -156,13 +189,68 @@ class Cluster:
             if ctx.slot not in (EVENT_SLOT, EXCEPTION_SLOT)
         )
 
+    # ----------------------------------------------------------- lazy statistics
+
+    @property
+    def operations_by_unit(self) -> Counter:
+        self._settle_fast_stats()
+        return self._operations_by_unit
+
+    @operations_by_unit.setter
+    def operations_by_unit(self, counter: Counter) -> None:
+        self._unit_fast = [0, 0, 0]
+        self._operations_by_unit = counter
+
+    @property
+    def issue_by_slot(self) -> Counter:
+        self._settle_fast_stats()
+        return self._issue_by_slot
+
+    @issue_by_slot.setter
+    def issue_by_slot(self, counter: Counter) -> None:
+        self._slot_fast = [0] * len(self._slot_fast)
+        self._issue_by_slot = counter
+
+    def _settle_fast_stats(self) -> None:
+        """Fold the flat fast-path counters into the public Counters."""
+        unit_fast = self._unit_fast
+        if unit_fast[0] or unit_fast[1] or unit_fast[2]:
+            from repro.cluster.dispatch import UNIT_VALUES  # noqa: PLC0415
+
+            counter = self._operations_by_unit
+            for index in range(3):
+                if unit_fast[index]:
+                    counter[UNIT_VALUES[index]] += unit_fast[index]
+                    unit_fast[index] = 0
+        slot_fast = self._slot_fast
+        counter = self._issue_by_slot
+        for slot in range(len(slot_fast)):
+            if slot_fast[slot]:
+                counter[slot] += slot_fast[slot]
+                slot_fast[slot] = 0
+
     # --------------------------------------------------------------- writebacks
 
     def apply_writebacks(self, cycle: int) -> None:
+        if not self._writebacks:
+            return
         remaining = []
+        contexts = self.contexts
         for wb in self._writebacks:
-            if wb.due_cycle <= cycle:
-                self._write_register(wb.slot, wb.ref, wb.value, wb.clear_pending)
+            if wb[0] <= cycle:
+                if len(wb) == 6:
+                    # Compiled-dispatch writeback: the flat register offset
+                    # was resolved at compile time (clear_pending is always
+                    # True for a value-operation result).
+                    registers = contexts[wb[1]].registers
+                    offset = wb[5]
+                    registers.writes += 1
+                    registers._values[offset] = wb[3]
+                    registers._full[offset] = True
+                    if registers._pending[offset] > 0:
+                        registers._pending[offset] -= 1
+                else:
+                    self._write_register(wb[1], wb[2], wb[3], wb[4])
             else:
                 remaining.append(wb)
         self._writebacks = remaining
@@ -182,12 +270,196 @@ class Cluster:
     def issue(self, cycle: int) -> bool:
         """Run the synchronization stage for one cycle; returns True if an
         instruction issued."""
-        resident = [ctx.slot for ctx in self.contexts if ctx.is_runnable]
+        resident = [ctx.slot for ctx in self.contexts if ctx.state is _RUNNABLE]
         if not resident:
             self.idle_cycles += 1
             return False
+        order = self.policy.order_cached(cycle, tuple(resident))
+        if self._compile_dispatch:
+            return self._issue_fast(order, cycle)
+        return self._issue_slow(order, cycle)
 
-        for slot in self.policy.candidate_order(cycle, resident):
+    def _slot_plans(self, slot: int) -> tuple:
+        """The ``(program, plans)`` pair for *slot*, compiling on first use.
+
+        The cache entry is invalidated explicitly by the only two paths that
+        change a slot's resident program: :meth:`load_program` and
+        :meth:`load_state_dict` (a snapshot restore installs freshly decoded
+        ``Program`` objects).
+        """
+        from repro.cluster.dispatch import compile_program  # noqa: PLC0415
+
+        program = self.icache._programs.get(slot)
+        cached = (program, compile_program(program, self, slot))
+        self._plan_cache[slot] = cached
+        return cached
+
+    def _queue_binding(self, slot: int, name: str):
+        """The hardware queue *name* resolves to for *slot* (None when the
+        queue is not readable here), memoized per slot."""
+        cache = self._queue_cache[slot]
+        try:
+            return cache[name]
+        except KeyError:
+            queue = self.node.queue_for(self.id, slot, name)
+            cache[name] = queue
+            return queue
+
+    def _issue_fast(self, order, cycle: int) -> bool:
+        """Compiled issue scan: same observable behaviour as
+        :meth:`_issue_slow`, using precompiled dispatch plans."""
+        contexts = self.contexts
+        icache = self.icache
+        node = self.node
+        plan_cache = self._plan_cache
+        for slot in order:
+            context = contexts[slot]
+            if context.state is not _RUNNABLE:
+                continue
+            cached = plan_cache[slot]
+            if cached is None:
+                cached = self._slot_plans(slot)
+            program, plans = cached
+            pc = context.pc
+            if pc < 0 or pc >= len(plans):
+                # Running off the end of the program is an implicit halt
+                # (the fetch is not counted, matching InstructionCache.fetch).
+                context.halt(cycle)
+                continue
+            icache.fetches += 1
+            plan = plans[pc]
+            if plan is None:
+                # Instruction the compiler does not cover: interpreted path.
+                instruction = program[pc]
+                ready, reason = self._instruction_ready(context, instruction)
+                if not ready:
+                    context.stall_cycles += 1
+                    context.stall_reasons[reason] += 1
+                    continue
+                if context.start_cycle is None:
+                    context.start_cycle = cycle
+                self._execute_instruction(context, instruction, cycle)
+                num_ops = len(instruction)
+                for unit in instruction.ops:
+                    self._operations_by_unit[unit.value] += 1
+                self._issue_by_slot[slot] += 1
+            else:
+                registers = context.registers
+                full = registers._full
+                pending = registers._pending
+                stall = None
+                for kind, arg, reason in plan.steps:
+                    if kind == 0:
+                        if not full[arg]:
+                            stall = reason
+                            break
+                    elif kind == 1:
+                        if pending[arg]:
+                            stall = reason
+                            break
+                    elif kind == 3:
+                        queue = self._queue_binding(slot, arg[0])
+                        if queue is not None and len(queue) < arg[1]:
+                            stall = reason
+                            break
+                    elif not node.memory_port_available(self.id):
+                        stall = reason
+                        break
+                if stall is not None:
+                    context.stall_cycles += 1
+                    context.stall_reasons[stall] += 1
+                    continue
+                if context.start_cycle is None:
+                    context.start_cycle = cycle
+                self._execute_plan(context, plan, pc, cycle)
+                num_ops = plan.num_ops
+                for index in plan.unit_idx:
+                    self._unit_fast[index] += 1
+                self._slot_fast[slot] += 1
+            self.instructions_issued += 1
+            self.operations_issued += num_ops
+            context.instructions_issued += 1
+            context.operations_issued += num_ops
+            self.policy.issued(slot)
+            return True
+
+        self.no_ready_cycles += 1
+        return False
+
+    def _execute_plan(self, context: HThreadContext, plan, pc: int, cycle: int) -> None:
+        """Run one compiled instruction (mirror of
+        :meth:`_execute_instruction`: read all operands first, then execute
+        every operation, then advance the PC)."""
+        registers = context.registers
+        values_mem = registers._values
+        try:
+            ops = plan.ops
+            if plan.num_ops == 1:
+                cop = ops[0]
+                if cop.privilege_msg is not None:
+                    raise ProtectionError(cop.privilege_msg)
+                values = []
+                for mode, arg in cop.readers:
+                    if mode == 1:
+                        registers.reads += 1
+                        values.append(values_mem[arg])
+                    elif mode == 0:
+                        values.append(arg)
+                    elif mode == 2:
+                        queue = self._queue_binding(context.slot, arg)
+                        if queue is None:
+                            raise ProtectionError(
+                                f"register {arg!r} is not readable from "
+                                f"cluster {self.id} slot {context.slot}")
+                        values.append(queue.pop_word())
+                    elif mode == 3:
+                        values.append(self.node.node_id)
+                    else:  # mode == 4: executing cluster's id
+                        values.append(self.id)
+                outcome_pc = cop.executor(self, context, values, cycle)
+                if context.state is _RUNNABLE:
+                    context.pc = pc + 1 if outcome_pc is None else outcome_pc
+                return
+            resolved = []
+            for cop in ops:
+                if cop.privilege_msg is not None:
+                    raise ProtectionError(cop.privilege_msg)
+                values = []
+                for mode, arg in cop.readers:
+                    if mode == 1:
+                        registers.reads += 1
+                        values.append(values_mem[arg])
+                    elif mode == 0:
+                        values.append(arg)
+                    elif mode == 2:
+                        queue = self._queue_binding(context.slot, arg)
+                        if queue is None:
+                            raise ProtectionError(
+                                f"register {arg!r} is not readable from "
+                                f"cluster {self.id} slot {context.slot}")
+                        values.append(queue.pop_word())
+                    elif mode == 3:
+                        values.append(self.node.node_id)
+                    else:  # mode == 4: executing cluster's id
+                        values.append(self.id)
+                resolved.append(values)
+            next_pc = pc + 1
+            for index, cop in enumerate(ops):
+                outcome_pc = cop.executor(self, context, resolved[index], cycle)
+                if outcome_pc is not None:
+                    next_pc = outcome_pc
+            if context.state is _RUNNABLE:
+                context.pc = next_pc
+        except ProtectionError as exc:
+            self._raise_exception(context, EventType.PROTECTION, str(exc), cycle)
+        except ArithmeticFault as exc:
+            self._raise_exception(context, EventType.ARITHMETIC, str(exc), cycle)
+        except OperandError as exc:
+            raise SimulationError(f"{exc} (instruction {plan.instruction})") from exc
+
+    def _issue_slow(self, order, cycle: int) -> bool:
+        """Interpreted issue scan (``sim.compile_dispatch = False``)."""
+        for slot in order:
             context = self.contexts[slot]
             if not context.is_runnable:
                 continue
@@ -206,8 +478,8 @@ class Cluster:
             self.instructions_issued += 1
             self.operations_issued += len(instruction)
             for unit in instruction.ops:
-                self.operations_by_unit[unit.value] += 1
-            self.issue_by_slot[slot] += 1
+                self._operations_by_unit[unit.value] += 1
+            self._issue_by_slot[slot] += 1
             context.instructions_issued += 1
             context.operations_issued += len(instruction)
             self.policy.issued(slot)
@@ -223,7 +495,7 @@ class Cluster:
         (SimComponent contract for the event kernel)."""
         if not self._writebacks:
             return None
-        return min(wb.due_cycle for wb in self._writebacks)
+        return min(wb[0] for wb in self._writebacks)
 
     def idle_profile(self):
         """Dry-run of the synchronization stage for the event kernel.
@@ -596,7 +868,7 @@ class Cluster:
                 context.registers.set_empty(dest)
                 context.registers.mark_pending(dest)
                 self._writebacks.append(
-                    _Writeback(due_cycle=cycle + latency, slot=context.slot, ref=dest, value=value)
+                    (cycle + latency, context.slot, dest, value, True)
                 )
 
     def _check_gcc_pair(self, dest: RegisterRef) -> None:
@@ -630,13 +902,14 @@ class Cluster:
     # -- statistics ----------------------------------------------------------------
 
     def stats(self) -> dict:
+        self._settle_fast_stats()
         return {
             "instructions_issued": self.instructions_issued,
             "operations_issued": self.operations_issued,
-            "operations_by_unit": dict(self.operations_by_unit),
+            "operations_by_unit": dict(self._operations_by_unit),
             "idle_cycles": self.idle_cycles,
             "no_ready_cycles": self.no_ready_cycles,
-            "issue_by_slot": dict(self.issue_by_slot),
+            "issue_by_slot": dict(self._issue_by_slot),
             "exceptions": self.exceptions_raised,
             "icache_fetches": self.icache.fetches,
         }
@@ -644,45 +917,45 @@ class Cluster:
     # -- snapshot (repro.snapshot state_dict contract) -----------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_counter, encode_value
-
+        self._settle_fast_stats()
         return {
             "contexts": [context.state_dict() for context in self.contexts],
             "icache": self.icache.state_dict(),
             "policy": self.policy.state_dict(),
             "writebacks": [
                 {
-                    "due_cycle": wb.due_cycle,
-                    "slot": wb.slot,
-                    "ref": encode_value(wb.ref),
-                    "value": encode_value(wb.value),
-                    "clear_pending": wb.clear_pending,
+                    "due_cycle": wb[0],
+                    "slot": wb[1],
+                    "ref": encode_value(wb[2]),
+                    "value": encode_value(wb[3]),
+                    "clear_pending": wb[4],
                 }
                 for wb in self._writebacks
             ],
             "instructions_issued": self.instructions_issued,
             "operations_issued": self.operations_issued,
-            "operations_by_unit": encode_counter(self.operations_by_unit),
+            "operations_by_unit": encode_counter(self._operations_by_unit),
             "idle_cycles": self.idle_cycles,
             "no_ready_cycles": self.no_ready_cycles,
-            "issue_by_slot": encode_counter(self.issue_by_slot),
+            "issue_by_slot": encode_counter(self._issue_by_slot),
             "exceptions_raised": self.exceptions_raised,
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_counter, decode_value
-
         for context, context_state in zip(self.contexts, state["contexts"]):
             context.load_state_dict(context_state)
         self.icache.load_state_dict(state["icache"])
+        # The restore installed new Program objects: recompile on next issue.
+        self._plan_cache = [None] * len(self._plan_cache)
+        self._queue_cache = [dict() for _ in self._queue_cache]
         self.policy.load_state_dict(state["policy"])
         self._writebacks = [
-            _Writeback(
-                due_cycle=wb["due_cycle"],
-                slot=wb["slot"],
-                ref=decode_value(wb["ref"]),
-                value=decode_value(wb["value"]),
-                clear_pending=wb["clear_pending"],
+            (
+                wb["due_cycle"],
+                wb["slot"],
+                decode_value(wb["ref"]),
+                decode_value(wb["value"]),
+                wb["clear_pending"],
             )
             for wb in state["writebacks"]
         ]

@@ -175,3 +175,10 @@ def evaluate_operation(operation: Operation, source_values: List[object]):
 
 def has_value_semantics(name: str) -> bool:
     return name in _INT_EVAL or name in _FP_EVAL
+
+
+def value_evaluator(name: str):
+    """The evaluator callable for *name*, or None when the opcode has no
+    value semantics (used by the dispatch compiler to resolve the opcode
+    dispatch once per program instead of once per issue)."""
+    return _INT_EVAL.get(name) or _FP_EVAL.get(name)

@@ -16,6 +16,12 @@ from typing import Optional
 from repro.cluster.regfile import RegisterSet
 from repro.core.config import ClusterConfig
 from repro.isa.program import Program
+from repro.snapshot.values import (
+    decode_counter,
+    decode_value,
+    encode_counter,
+    encode_value,
+)
 
 
 class ThreadState(enum.Enum):
@@ -102,8 +108,6 @@ class HThreadContext:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_counter, encode_value
-
         return {
             "program": encode_value(self.program),
             "pc": self.pc,
@@ -119,8 +123,6 @@ class HThreadContext:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_counter, decode_value
-
         self.program = decode_value(state["program"])
         self.pc = state["pc"]
         self.state = ThreadState(state["state"])

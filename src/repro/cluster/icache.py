@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from repro.core.config import ClusterConfig
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
+from repro.snapshot.values import decode_value, encode_value
 
 
 class CapacityError(Exception):
@@ -85,8 +86,6 @@ class InstructionCache:
     # -- snapshot (repro.snapshot state_dict contract) ----------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
-
         return {
             "programs": [[slot, encode_value(program)]
                          for slot, program in self._programs.items()],
@@ -94,8 +93,6 @@ class InstructionCache:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
-
         self._programs = {slot: decode_value(program)
                           for slot, program in state["programs"]}
         self.fetches = state["fetches"]

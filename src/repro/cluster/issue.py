@@ -40,11 +40,29 @@ class IssuePolicy:
     def __init__(self, num_slots: int):
         self.num_slots = num_slots
         self._rr_pointer = 0
+        self._order_cache = {}
 
     def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
         """Return slot indices in the order they should be offered the issue
         slot this cycle."""
         raise NotImplementedError
+
+    def order_cached(self, cycle: int, resident_key: tuple) -> List[int]:
+        """Memoised :meth:`candidate_order`.
+
+        The order depends only on the round-robin pointer and the resident-slot
+        set (plus the cycle residue for the HEP barrel, which overrides this),
+        so the issue stage can reuse it instead of re-sorting every cycle.
+        Callers must not mutate the returned list.
+        """
+        key = (self._rr_pointer, resident_key)
+        order = self._order_cache.get(key)
+        if order is None:
+            if len(self._order_cache) > 1024:
+                self._order_cache.clear()
+            order = self.candidate_order(cycle, resident_key)
+            self._order_cache[key] = order
+        return order
 
     def issued(self, slot: int) -> None:
         """Feedback that *slot* issued this cycle (used to advance pointers)."""
@@ -99,6 +117,16 @@ class HepBarrelPolicy(IssuePolicy):
     def candidate_order(self, cycle: int, resident_slots: Sequence[int]) -> List[int]:
         turn = cycle % self.num_slots
         return [turn] if turn in resident_slots else []
+
+    def order_cached(self, cycle: int, resident_key: tuple) -> List[int]:
+        key = (cycle % self.num_slots, resident_key)
+        order = self._order_cache.get(key)
+        if order is None:
+            if len(self._order_cache) > 1024:
+                self._order_cache.clear()
+            order = self.candidate_order(cycle, resident_key)
+            self._order_cache[key] = order
+        return order
 
     def issued(self, slot: int) -> None:  # the barrel rotates with the clock
         pass

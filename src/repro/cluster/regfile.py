@@ -19,14 +19,27 @@ per register: the number of in-flight operations of the owning H-Thread that
 will write the register.  The issue stage uses it to preserve
 write-after-write ordering for a thread's own out-of-order completions; it is
 not visible to software.
+
+Storage is struct-of-arrays: all five register files live in single flat
+``values``/``full``/``pending`` lists with per-file base offsets.  The issue
+stage's compiled dispatch plans (:mod:`repro.cluster.dispatch`) resolve a
+:class:`~repro.isa.registers.RegisterRef` to its flat offset once at
+compile time and then index the flat lists directly on every cycle; the
+reference-taking methods below remain the API for everything off the hot
+path.  The snapshot ``state_dict`` keeps the original nested-by-file
+serialisation, so snapshots are unchanged by the flat layout.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Optional
 
 from repro.core.config import ClusterConfig
-from repro.isa.registers import RegFile, RegisterRef
+from repro.isa.registers import RegFile, RegisterRef, parse_register
+from repro.snapshot.values import decode_value, encode_value
+
+#: Fixed file layout order of the flat arrays (also the serialisation order).
+FILE_ORDER = (RegFile.INT, RegFile.FP, RegFile.CC, RegFile.GCC, RegFile.MC)
 
 
 class RegisterSet:
@@ -41,85 +54,94 @@ class RegisterSet:
             RegFile.GCC: config.num_gcc_regs,
             RegFile.MC: config.num_mc_regs,
         }
-        self._values: Dict[RegFile, List[object]] = {
-            file: [0] * size for file, size in self._sizes.items()
-        }
+        self._base: Dict[RegFile, int] = {}
+        total = 0
+        for file in FILE_ORDER:
+            self._base[file] = total
+            total += self._sizes[file]
+        self._total = total
+        #: Layout fingerprint: register sets with equal keys resolve every
+        #: RegisterRef to the same flat offset (dispatch plan-sharing key).
+        self.layout_key = tuple(self._sizes[file] for file in FILE_ORDER)
+        self._values = [0] * total
+        fp_base = self._base[RegFile.FP]
         for index in range(self._sizes[RegFile.FP]):
-            self._values[RegFile.FP][index] = 0.0
-        self._full: Dict[RegFile, List[bool]] = {
-            file: [True] * size for file, size in self._sizes.items()
-        }
-        self._pending: Dict[RegFile, List[int]] = {
-            file: [0] * size for file, size in self._sizes.items()
-        }
+            self._values[fp_base + index] = 0.0
+        self._full = [True] * total
+        self._pending = [0] * total
         # Statistics
         self.reads = 0
         self.writes = 0
 
     # -- checks ------------------------------------------------------------------
 
-    def _check(self, ref: RegisterRef) -> Tuple[RegFile, int]:
+    def _check(self, ref: RegisterRef) -> int:
+        """Resolve *ref* to its flat offset, validating it as the original
+        nested lookup did."""
         if ref.is_special:
             raise ValueError(f"special register {ref} is not stored in the register file")
         if ref.index >= self._sizes[ref.file]:
             raise IndexError(f"register {ref} out of range")
-        return ref.file, ref.index
+        return self._base[ref.file] + ref.index
+
+    def flat_offset(self, ref: RegisterRef) -> Optional[int]:
+        """Flat offset of *ref*, or None when the reference cannot be resolved
+        statically (special/remote/out of range) -- dispatch-compiler helper;
+        a None sends the instruction down the interpreted path, which raises
+        the same error the nested lookup would have."""
+        if ref.file is RegFile.SPECIAL or ref.cluster is not None:
+            return None
+        if ref.index >= self._sizes[ref.file]:
+            return None
+        return self._base[ref.file] + ref.index
 
     # -- values ------------------------------------------------------------------
 
     def read(self, ref: RegisterRef):
-        file, index = self._check(ref)
+        offset = self._check(ref)
         self.reads += 1
-        return self._values[file][index]
+        return self._values[offset]
 
     def write(self, ref: RegisterRef, value, *, set_full: bool = True) -> None:
-        file, index = self._check(ref)
+        offset = self._check(ref)
         self.writes += 1
-        self._values[file][index] = value
+        self._values[offset] = value
         if set_full:
-            self._full[file][index] = True
+            self._full[offset] = True
 
     def peek(self, ref: RegisterRef):
         """Read without statistics (debug/test helper)."""
-        file, index = self._check(ref)
-        return self._values[file][index]
+        return self._values[self._check(ref)]
 
     # -- scoreboard --------------------------------------------------------------
 
     def is_full(self, ref: RegisterRef) -> bool:
-        file, index = self._check(ref)
-        return self._full[file][index]
+        return self._full[self._check(ref)]
 
     def set_full(self, ref: RegisterRef) -> None:
-        file, index = self._check(ref)
-        self._full[file][index] = True
+        self._full[self._check(ref)] = True
 
     def set_empty(self, ref: RegisterRef) -> None:
-        file, index = self._check(ref)
-        self._full[file][index] = False
+        self._full[self._check(ref)] = False
 
     # -- pending writes ----------------------------------------------------------
 
     def mark_pending(self, ref: RegisterRef) -> None:
-        file, index = self._check(ref)
-        self._pending[file][index] += 1
+        self._pending[self._check(ref)] += 1
 
     def clear_pending(self, ref: RegisterRef) -> None:
-        file, index = self._check(ref)
-        if self._pending[file][index] > 0:
-            self._pending[file][index] -= 1
+        offset = self._check(ref)
+        if self._pending[offset] > 0:
+            self._pending[offset] -= 1
 
     def is_pending(self, ref: RegisterRef) -> bool:
-        file, index = self._check(ref)
-        return self._pending[file][index] > 0
+        return self._pending[self._check(ref)] > 0
 
     # -- bulk helpers ------------------------------------------------------------
 
     def set_initial(self, assignments: Dict[str, object]) -> None:
         """Initialise registers from a ``{"i0": 5, "f1": 2.5}`` mapping
         (loader/test helper); marks them full."""
-        from repro.isa.registers import parse_register
-
         for name, value in assignments.items():
             ref = parse_register(name)
             self.write(ref, value)
@@ -128,33 +150,48 @@ class RegisterSet:
     def snapshot(self) -> Dict[str, object]:
         """Dump all register values (debug helper)."""
         result = {}
-        for file, values in self._values.items():
-            for index, value in enumerate(values):
-                result[f"{file.value}{index}"] = value
+        for file in FILE_ORDER:
+            base = self._base[file]
+            for index in range(self._sizes[file]):
+                result[f"{file.value}{index}"] = self._values[base + index]
         return result
 
     # -- snapshot (repro.snapshot state_dict contract) ----------------------------
 
-    def state_dict(self) -> Dict[str, object]:
-        from repro.snapshot.values import encode_value
+    def _file_slice(self, flat, file: RegFile):
+        base = self._base[file]
+        return flat[base:base + self._sizes[file]]
 
+    def state_dict(self) -> Dict[str, object]:
         return {
-            "values": {file.name: [encode_value(v) for v in values]
-                       for file, values in self._values.items()},
-            "full": {file.name: list(bits) for file, bits in self._full.items()},
-            "pending": {file.name: list(counts) for file, counts in self._pending.items()},
+            "values": {file.name: [encode_value(v)
+                                   for v in self._file_slice(self._values, file)]
+                       for file in FILE_ORDER},
+            "full": {file.name: self._file_slice(self._full, file)
+                     for file in FILE_ORDER},
+            "pending": {file.name: self._file_slice(self._pending, file)
+                        for file in FILE_ORDER},
             "reads": self.reads,
             "writes": self.writes,
         }
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
-        from repro.snapshot.values import decode_value
+        def load_file(flat, file_name, items, convert):
+            file = RegFile[file_name]
+            base = self._base[file]
+            size = self._sizes[file]
+            if len(items) != size:
+                raise ValueError(
+                    f"snapshot has {len(items)} {file.name} registers, "
+                    f"register file holds {size}"
+                )
+            flat[base:base + size] = [convert(item) for item in items]
 
         for file_name, values in state["values"].items():
-            self._values[RegFile[file_name]] = [decode_value(v) for v in values]
+            load_file(self._values, file_name, values, decode_value)
         for file_name, bits in state["full"].items():
-            self._full[RegFile[file_name]] = [bool(b) for b in bits]
+            load_file(self._full, file_name, bits, bool)
         for file_name, counts in state["pending"].items():
-            self._pending[RegFile[file_name]] = [int(c) for c in counts]
+            load_file(self._pending, file_name, counts, int)
         self.reads = state["reads"]
         self.writes = state["writes"]

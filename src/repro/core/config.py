@@ -181,6 +181,14 @@ class SimConfig:
     #: ``"naive"`` -- the reference loop: tick every node every cycle,
     #: O(cycles x nodes); kept for differential testing.
     kernel: str = "event"
+    #: Precompile each loaded program to bound executors (closures with
+    #: pre-resolved operand offsets and readiness checks) so the issue stage
+    #: skips per-cycle opcode dispatch and operand decoding.  Purely a host
+    #: optimisation: results, statistics, traces and snapshots are bit-exact
+    #: with the interpreted path (``tests/integration/
+    #: test_dispatch_equivalence.py``).  Compiled plans are derived state:
+    #: they are never serialised and are rebuilt after a snapshot restore.
+    compile_dispatch: bool = True
 
 
 @dataclass

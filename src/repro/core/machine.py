@@ -15,6 +15,7 @@ is retained for differential testing.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -30,6 +31,7 @@ from repro.network.gtlb import GlobalDestinationTable, GtlbEntry
 from repro.network.mesh import MeshNetwork, coords_to_id, id_to_coords
 from repro.node.node import Node
 from repro.snapshot.checkpoint import attach_machine
+from repro.snapshot.values import SnapshotError
 
 ProgramLike = Union[Program, str]
 
@@ -111,7 +113,7 @@ class MMachine:
         self.cycle = 0
         self.runtime = None
         if install_runtime and self.config.runtime.shared_memory_mode != "none":
-            from repro.runtime import install_runtime as _install
+            from repro.runtime import install_runtime as _install  # noqa: PLC0415
 
             self.runtime = _install(self)
         #: The event-driven clock driver, or None when the reference loop is
@@ -260,7 +262,7 @@ class MMachine:
         return context.registers.is_full(parse_register(register))
 
     def thread_halted(self, node_id: int, slot: int, cluster: int) -> bool:
-        from repro.cluster.hthread import ThreadState
+        from repro.cluster.hthread import ThreadState  # noqa: PLC0415
 
         return self.nodes[node_id].context(slot, cluster).state is ThreadState.HALTED
 
@@ -393,7 +395,6 @@ class MMachine:
         built from the same configuration).  Only this machine's state is
         touched -- the id allocators are machine-owned, so other machines in
         the process are unaffected."""
-        from repro.snapshot.values import SnapshotError
 
         counters = state["id_counters"]
         self.request_ids.load_state(counters["mem_request"])
@@ -423,7 +424,7 @@ class MMachine:
     def snapshot_document(self) -> Dict[str, object]:
         """The machine as a self-describing snapshot document (schema
         version + full config + state)."""
-        from repro.snapshot.format import make_document
+        from repro.snapshot.format import make_document  # noqa: PLC0415
 
         return make_document(self.config, self.state_dict())
 
@@ -431,7 +432,7 @@ class MMachine:
         """Write a snapshot of the machine to *path* (gzip when the path
         ends in ``.gz``); returns the path.  The machine can keep running
         afterwards -- taking a snapshot does not perturb the simulation."""
-        from repro.snapshot.format import write_snapshot
+        from repro.snapshot.format import write_snapshot  # noqa: PLC0415
 
         return write_snapshot(self.snapshot_document(), path)
 
@@ -439,7 +440,7 @@ class MMachine:
         """Load a snapshot *document* into this machine, refusing with
         :class:`~repro.snapshot.format.ConfigMismatchError` when the
         machine's configuration differs from the embedded one."""
-        from repro.snapshot.format import check_config_matches, validate_document
+        from repro.snapshot.format import check_config_matches, validate_document  # noqa: PLC0415
 
         validate_document(document)
         check_config_matches(self.config, document)
@@ -450,7 +451,7 @@ class MMachine:
         """Rebuild a machine from a snapshot: *source* is a path or an
         already-loaded document.  The machine is constructed from the
         embedded configuration, then the state is loaded into it."""
-        from repro.snapshot.format import (
+        from repro.snapshot.format import (  # noqa: PLC0415
             config_from_dict,
             read_snapshot,
             validate_document,
@@ -460,7 +461,6 @@ class MMachine:
             document = source
             validate_document(document)
         else:
-            import os
 
             document = read_snapshot(os.fspath(source))
         machine = cls(config_from_dict(document["config"]))

@@ -67,10 +67,18 @@ class SimulationKernel:
         #: the run loops' busy checks cost O(awake) instead of O(nodes).
         self._sleeping_pending = 0
         self._sleeping_users_unfinished = 0
-        #: Min-heap of (cycle, node_id) scheduled wakeups.  Entries are never
-        #: removed eagerly; waking an already-awake node is a no-op and
-        #: waking a node early just costs one provably-idle tick.
-        self._wakeups: List[tuple] = []
+        #: Min-heap of scheduled wakeups, encoded as single ints
+        #: ``(cycle << shift) | node_id`` so heap operations compare machine
+        #: integers instead of allocating tuples.  The encoding preserves the
+        #: (cycle, node_id) lexicographic order of the old tuple heap.
+        #: Entries are never removed eagerly; waking an already-awake node is
+        #: a no-op and waking a node early just costs one provably-idle tick.
+        self._wakeup_shift = max(num_nodes - 1, 1).bit_length()
+        self._node_mask = (1 << self._wakeup_shift) - 1
+        self._wakeups: List[int] = []
+        #: Earliest queued wakeup cycle per node (-1 when none is known), so
+        #: re-sleeping with an unchanged next event skips the duplicate push.
+        self._queued_wakeup: List[int] = [-1] * num_nodes
 
         self.mesh.attach_observer(self)
 
@@ -134,7 +142,12 @@ class SimulationKernel:
         if not users_finished:
             self._sleeping_users_unfinished += 1
         if next_event is not None:
-            heapq.heappush(self._wakeups, (next_event, node_id))
+            queued = self._queued_wakeup[node_id]
+            if queued < 0 or next_event < queued:
+                heapq.heappush(
+                    self._wakeups, (next_event << self._wakeup_shift) | node_id
+                )
+                self._queued_wakeup[node_id] = next_event
 
     def wake_all(self) -> None:
         """Reactivate every node (used at the start of every public run so
@@ -172,10 +185,17 @@ class SimulationKernel:
         machine = self.machine
         cycle = machine.cycle
         wakeups = self._wakeups
-        while wakeups and wakeups[0][0] <= cycle:
-            _, node_id = heapq.heappop(wakeups)
-            if self._asleep[node_id]:
-                self._wake(node_id, cycle)
+        if wakeups:
+            shift = self._wakeup_shift
+            mask = self._node_mask
+            queued = self._queued_wakeup
+            while wakeups and (wakeups[0] >> shift) <= cycle:
+                entry = heapq.heappop(wakeups)
+                node_id = entry & mask
+                if queued[node_id] == entry >> shift:
+                    queued[node_id] = -1
+                if self._asleep[node_id]:
+                    self._wake(node_id, cycle)
         mesh = self.mesh
         if mesh.busy:
             # Deliveries wake their destination nodes via message_delivered.
@@ -200,7 +220,7 @@ class SimulationKernel:
     def _next_event(self) -> Optional[int]:
         """The next cycle at which anything in the machine can happen while
         every node is asleep: a scheduled wakeup or a mesh delivery."""
-        next_cycle = self._wakeups[0][0] if self._wakeups else None
+        next_cycle = (self._wakeups[0] >> self._wakeup_shift) if self._wakeups else None
         delivery = self.mesh.next_delivery_cycle()
         if delivery is not None and (next_cycle is None or delivery < next_cycle):
             next_cycle = delivery

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
+from repro.snapshot.values import decode_value, encode_value
 
 #: Every trace category the simulator can emit, as documented in the table
 #: above.  This is a stable interface: analyses and tests may rely on these
@@ -165,7 +166,6 @@ class Tracer:
         their results (and the Figure 9 analyses measure latencies) from
         events recorded *before* the snapshot point, so a resumed run must
         see the complete history, not just its own tail."""
-        from repro.snapshot.values import encode_value
 
         def encode_info(info):
             # Fast path: almost every info dict holds only plain scalars.
@@ -187,7 +187,6 @@ class Tracer:
         return {"enabled": self.enabled, "events": list(encoded)}
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self.enabled = state["enabled"]
         self.events = [

@@ -17,6 +17,8 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.events.records import EventRecord
+from repro.snapshot.values import decode_value, encode_value
+from repro.events.records import EVENT_RECORD_WORDS
 
 
 class QueueOverflowError(Exception):
@@ -128,7 +130,6 @@ class EventQueue(HardwareQueue):
     """
 
     def __init__(self, capacity_records: int, name: str = "event-queue"):
-        from repro.events.records import EVENT_RECORD_WORDS
 
         super().__init__(capacity_records * EVENT_RECORD_WORDS, name)
         self.capacity_records = capacity_records
@@ -152,7 +153,6 @@ class EventQueue(HardwareQueue):
         Removes both the structured record and its packed words, keeping the
         two views consistent.  May only be called on a record boundary.
         """
-        from repro.events.records import EVENT_RECORD_WORDS
 
         if not self._records:
             raise QueueUnderflowError(f"pop_record from empty queue {self.name!r}")
@@ -166,7 +166,6 @@ class EventQueue(HardwareQueue):
         return record
 
     def pop_word(self) -> int:
-        from repro.events.records import EVENT_RECORD_WORDS
 
         word = super().pop_word()
         # Keep the structured view consistent when software consumes an entire
@@ -185,7 +184,6 @@ class EventQueue(HardwareQueue):
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         state = super().state_dict()
         state["records"] = [encode_value(record) for record in self._records]
@@ -194,7 +192,6 @@ class EventQueue(HardwareQueue):
         return state
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         super().load_state_dict(state)
         self._records = deque(decode_value(record) for record in state["records"])

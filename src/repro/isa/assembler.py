@@ -271,7 +271,7 @@ def assemble(source: str, name: str = "program") -> "Program":
         For unknown opcodes, malformed operands, slot over-commitment,
         undefined labels or duplicate labels.
     """
-    from repro.isa.program import Program
+    from repro.isa.program import Program  # noqa: PLC0415
 
     instructions: List[Instruction] = []
     labels: Dict[str, int] = {}

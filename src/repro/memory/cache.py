@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+from repro.snapshot.values import decode_value, encode_value
 
 
 @dataclass
@@ -256,7 +257,6 @@ class InterleavedCache:
     # -- snapshot (repro.snapshot state_dict contract) -----------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             "sets": [
@@ -291,7 +291,6 @@ class InterleavedCache:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._sets = {
             set_index: [

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro.memory.page_table import LptEntry, PAGE_SIZE_WORDS, page_of
+from repro.snapshot.values import decode_value, encode_value
 
 
 class Ltlb:
@@ -83,7 +84,6 @@ class Ltlb:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             # LRU order is significant (oldest first, like the OrderedDict).
@@ -101,7 +101,6 @@ class Ltlb:
         }
 
     def load_state_dict(self, state: dict, page_table=None) -> None:
-        from repro.snapshot.values import decode_value
 
         self._entries = OrderedDict()
         for page, encoded in state["entries"]:

@@ -47,6 +47,7 @@ from repro.memory.page_table import (
 )
 from repro.memory.requests import MemRequest, MemResponse
 from repro.memory.sdram import Sdram
+from repro.snapshot.values import decode_value, encode_value
 
 
 #: Flags accepted by the privileged ``ltlbw`` operation.
@@ -141,10 +142,14 @@ class MemorySystem:
     def tick(self, cycle: int) -> List[MemResponse]:
         """Advance one cycle; returns responses whose data leaves the memory
         system this cycle (the node forwards them to the C-Switch)."""
-        for bank_index in range(self.cache.num_banks):
-            self._service_bank(bank_index, cycle)
-        self._service_mif(cycle)
+        if any(self._bank_queues):
+            for bank_index in range(self.cache.num_banks):
+                self._service_bank(bank_index, cycle)
+        if self._mif_queue:
+            self._service_mif(cycle)
 
+        if not self._pending:
+            return []
         ready: List[MemResponse] = []
         still_pending: List[_PendingResponse] = []
         for pending in self._pending:
@@ -559,7 +564,6 @@ class MemorySystem:
         """In-flight request state only; the cache, LTLB, page table and
         SDRAM snapshot themselves (they are shared objects owned by the
         node)."""
-        from repro.snapshot.values import encode_value
 
         return {
             "bank_queues": [
@@ -584,7 +588,6 @@ class MemorySystem:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._bank_queues = [
             deque((arrival, decode_value(request)) for arrival, request in queue)

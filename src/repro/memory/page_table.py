@@ -28,6 +28,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
+from repro.snapshot.values import decode_value, encode_value
 
 #: Words per page (Section 2: "Pages are 512 words (64 8-word cache blocks)").
 PAGE_SIZE_WORDS = 512
@@ -238,7 +239,6 @@ class LocalPageTable:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             "entries": [[slot, encode_value(entry)]
@@ -251,7 +251,6 @@ class LocalPageTable:
         """Rebuild the structured table directly, *without* mirroring into
         the memory image: the SDRAM snapshot already contains the image, and
         mirroring here would perturb the SDRAM write statistics."""
-        from repro.snapshot.values import decode_value
 
         self._entries = {slot: decode_value(entry)
                          for slot, entry in state["entries"]}

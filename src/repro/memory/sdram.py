@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.memory.secded import secded_decode, secded_encode
+from repro.snapshot.values import decode_value, encode_value
 
 
 @dataclass
@@ -164,7 +165,6 @@ class Sdram:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             # Sparse contents: SECDED codewords are stored verbatim, tagged
@@ -182,7 +182,6 @@ class Sdram:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._words = {address: decode_value(value) for address, value in state["words"]}
         self._sync_bits = {address: bit for address, bit in state["sync_bits"]}

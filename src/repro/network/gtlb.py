@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+from repro.snapshot.values import decode_value, encode_value
 
 #: Bit widths of the packed GDT/GTLB entry (Figure 8).
 VIRTUAL_PAGE_BITS = 42
@@ -197,12 +198,10 @@ class GlobalDestinationTable:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {"entries": [encode_value(entry) for entry in self._entries]}
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._entries = [decode_value(entry) for entry in state["entries"]]
 
@@ -254,7 +253,6 @@ class Gtlb:
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             # MRU-first order is significant (move-to-front LRU).  GtlbEntry
@@ -267,7 +265,6 @@ class Gtlb:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._entries = [decode_value(entry) for entry in state["entries"]]
         self.hits = state["hits"]

@@ -24,6 +24,7 @@ from repro.memory.guarded_pointer import GuardedPointer, ProtectionError
 from repro.network.gtlb import Gtlb
 from repro.network.mesh import MeshNetwork, coords_to_id
 from repro.network.message import Message, MessageKind
+from repro.snapshot.values import decode_optional_set, decode_value, encode_optional_set, encode_value
 
 
 class NetworkInterface:
@@ -50,7 +51,7 @@ class NetworkInterface:
         #: per-machine deterministic (falls back to the module source for
         #: interfaces built standalone in tests).
         if message_ids is None:
-            from repro.network.message import _message_ids as message_ids
+            from repro.network.message import _message_ids as message_ids  # noqa: PLC0415
         self.message_ids = message_ids
         #: Send credits: return-buffer slots reserved for unacknowledged
         #: priority-0 messages.
@@ -255,7 +256,6 @@ class NetworkInterface:
         """The message queues themselves snapshot with the node (they are the
         node's register-mapped queues); this covers the interface's own
         state: credits, the DIP allow-list and the retransmission buffer."""
-        from repro.snapshot.values import encode_optional_set, encode_value
 
         return {
             "credits": self.credits,
@@ -272,7 +272,6 @@ class NetworkInterface:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_optional_set, decode_value
 
         self.credits = state["credits"]
         self.allowed_dips = decode_optional_set(state["allowed_dips"])

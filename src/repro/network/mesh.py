@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import NetworkConfig
 from repro.network.message import Message
+from repro.snapshot.values import decode_value, encode_value
 
 Coords = Tuple[int, int, int]
 
@@ -152,7 +153,6 @@ class MeshNetwork:
     # -- snapshot (repro.snapshot state_dict contract) -----------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             "in_flight": [[encode_value(flight.message), flight.deliver_cycle]
@@ -166,7 +166,6 @@ class MeshNetwork:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self._in_flight = [
             _InFlight(message=decode_value(message), deliver_cycle=deliver_cycle)

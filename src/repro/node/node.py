@@ -52,6 +52,7 @@ from repro.network.gtlb import GlobalDestinationTable, Gtlb
 from repro.network.interface import NetworkInterface
 from repro.network.mesh import MeshNetwork, coords_to_id
 from repro.network.message import Message
+from repro.snapshot.values import SnapshotError, decode_value, encode_value
 from repro.switches.crossbar import BROADCAST, Crossbar
 
 
@@ -79,7 +80,7 @@ class Node:
         #: per-machine deterministic (falls back to the module source for
         #: nodes built standalone in tests).
         if request_ids is None:
-            from repro.memory.requests import _request_ids as request_ids
+            from repro.memory.requests import _request_ids as request_ids  # noqa: PLC0415
         self.request_ids = request_ids
 
         memory_config = config.memory
@@ -173,7 +174,8 @@ class Node:
         )
         self.mswitch_latency = node_config.mswitch_latency
         self.clusters = [
-            Cluster(index, self, config.cluster, node_config)
+            Cluster(index, self, config.cluster, node_config,
+                    compile_dispatch=config.sim.compile_dispatch)
             for index in range(node_config.num_clusters)
         ]
 
@@ -399,9 +401,11 @@ class Node:
                 self.trace(cycle, "reg_write", cluster=dest_cluster, slot=payload.vthread,
                            reg=str(payload.ref), origin=payload.origin)
 
-        # 2. Local writebacks.
+        # 2. Local writebacks (skip the per-cluster call when nothing is in
+        # flight -- the common case on memory- or message-bound cycles).
         for cluster in self.clusters:
-            cluster.apply_writebacks(cycle)
+            if cluster._writebacks:
+                cluster.apply_writebacks(cycle)
 
         # 3. Events whose hardware formatting delay has elapsed.
         self._enqueue_due_events(cycle)
@@ -533,8 +537,6 @@ class Node:
     # than from re-mirroring.
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
-
         return {
             "sdram": self.sdram.state_dict(),
             "cache": self.cache.state_dict(),
@@ -559,8 +561,6 @@ class Node:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import SnapshotError, decode_value
-
         self.page_table.load_state_dict(state["page_table"])
         self.ltlb.load_state_dict(state["ltlb"], page_table=self.page_table)
         self.sdram.load_state_dict(state["sdram"])

@@ -58,7 +58,7 @@ def ratio(measured: object, paper: object) -> str:
 
 def build_area_model(manifest: Manifest) -> Optional[Section]:
     """The silicon-area / peak-performance headline numbers."""
-    from repro.report.expected import paper_value
+    from repro.report.expected import paper_value  # noqa: PLC0415
 
     record = manifest.first("area-model")
     if record is None:

@@ -23,9 +23,11 @@ records no benchmark at all.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
+import sys
 from typing import Dict, List, Optional
 
 SCHEMA_VERSION = 2
@@ -81,7 +83,7 @@ def validate_trajectory(document: object) -> List[str]:
 
 def make_session(benchmarks: Dict[str, Dict[str, object]]) -> Dict[str, object]:
     """A session record for *benchmarks* (stamped with version + python)."""
-    from repro import __version__
+    from repro import __version__  # noqa: PLC0415
 
     session = {
         "repro_version": __version__,
@@ -171,8 +173,6 @@ def check_file(path: str, require_nonempty: bool = False) -> List[str]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: validate a trajectory file (used by CI)."""
-    import argparse
-    import sys
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.report.trajectory",
@@ -195,6 +195,5 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
-    import sys
 
     sys.exit(main())

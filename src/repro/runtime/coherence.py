@@ -50,6 +50,7 @@ from repro.runtime.native import (
     MessageNativeHandler,
     SyncStatusFaultHandler,
 )
+from repro.snapshot.values import decode_value, encode_value
 
 #: Body lengths (in words) of the coherence protocol messages.
 COHERENCE_BODY_LENGTHS_P0 = {
@@ -359,7 +360,6 @@ class CoherenceRuntime:
     # -- snapshot (repro.snapshot state_dict contract) -------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         return {
             "directories": [
@@ -427,7 +427,6 @@ class CoherenceRuntime:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         self.directories = {
             node_id: {

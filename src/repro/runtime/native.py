@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.config import RuntimeConfig
 from repro.events.queue import EventQueue, HardwareQueue
 from repro.events.records import EventRecord, EventType
+from repro.snapshot.values import SnapshotError, decode_value, encode_value
 
 
 class NativeHandler:
@@ -109,7 +110,6 @@ class NativeHandler:
 
     def load_state_dict(self, state: dict) -> None:
         if state["name"] != self.name:
-            from repro.snapshot.values import SnapshotError
 
             raise SnapshotError(
                 f"native-handler mismatch: snapshot has {state['name']!r}, "
@@ -259,7 +259,6 @@ class SyncStatusFaultHandler(EventNativeHandler):
         raise RuntimeError(f"unexpected event {record} on the sync/status queue")
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
 
         state = super().state_dict()
         state["retries"] = self.retries
@@ -268,7 +267,6 @@ class SyncStatusFaultHandler(EventNativeHandler):
         return state
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
 
         super().load_state_dict(state)
         self.retries = state["retries"]

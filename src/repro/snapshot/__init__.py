@@ -71,6 +71,6 @@ def save(machine, path: str) -> str:
 def restore(source):
     """Rebuild a machine from a snapshot path or document
     (``MMachine.from_snapshot``)."""
-    from repro.core.machine import MMachine
+    from repro.core.machine import MMachine  # noqa: PLC0415
 
     return MMachine.from_snapshot(source)

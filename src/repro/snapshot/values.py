@@ -39,7 +39,7 @@ class SnapshotError(Exception):
 
 @lru_cache(maxsize=256)
 def _assemble_cached(source: str, name: str):
-    from repro.isa.assembler import assemble
+    from repro.isa.assembler import assemble  # noqa: PLC0415
 
     return assemble(source, name=name)
 
@@ -86,11 +86,11 @@ def encode_value(value) -> object:
 
 
 def _encode_int(value: int) -> object:
-    import enum
+    import enum  # noqa: PLC0415
 
     if isinstance(value, enum.IntEnum):
         # BlockStatus (and any future IntEnum) round-trips through its class.
-        from repro.memory.page_table import BlockStatus
+        from repro.memory.page_table import BlockStatus  # noqa: PLC0415
 
         if isinstance(value, BlockStatus):
             return {TAG: "blockstatus", "value": int(value)}
@@ -99,16 +99,16 @@ def _encode_int(value: int) -> object:
 
 
 def _encode_object(value) -> Dict[str, object]:
-    from repro.cluster.cluster import RegWrite
-    from repro.events.records import EventRecord
-    from repro.isa.operations import LabelRef
-    from repro.isa.program import Program
-    from repro.isa.registers import RegisterRef
-    from repro.memory.guarded_pointer import GuardedPointer
-    from repro.memory.page_table import LptEntry
-    from repro.memory.requests import MemRequest, MemResponse
-    from repro.network.gtlb import GtlbEntry
-    from repro.network.message import Message
+    from repro.cluster.cluster import RegWrite  # noqa: PLC0415
+    from repro.events.records import EventRecord  # noqa: PLC0415
+    from repro.isa.operations import LabelRef  # noqa: PLC0415
+    from repro.isa.program import Program  # noqa: PLC0415
+    from repro.isa.registers import RegisterRef  # noqa: PLC0415
+    from repro.memory.guarded_pointer import GuardedPointer  # noqa: PLC0415
+    from repro.memory.page_table import LptEntry  # noqa: PLC0415
+    from repro.memory.requests import MemRequest, MemResponse  # noqa: PLC0415
+    from repro.network.gtlb import GtlbEntry  # noqa: PLC0415
+    from repro.network.message import Message  # noqa: PLC0415
 
     if isinstance(value, GuardedPointer):
         return {TAG: "gptr", "word": value.encode()}
@@ -222,15 +222,15 @@ def decode_value(encoded) -> object:
 
 
 def _decode_tagged(encoded: Dict[str, object]) -> object:
-    from repro.cluster.cluster import RegWrite
-    from repro.events.records import EventRecord, EventType
-    from repro.isa.operations import LabelRef
-    from repro.isa.registers import RegFile, RegisterRef
-    from repro.memory.guarded_pointer import GuardedPointer
-    from repro.memory.page_table import BlockStatus, LptEntry
-    from repro.memory.requests import MemOpKind, MemRequest, MemResponse
-    from repro.network.gtlb import GtlbEntry
-    from repro.network.message import Message, MessageKind
+    from repro.cluster.cluster import RegWrite  # noqa: PLC0415
+    from repro.events.records import EventRecord, EventType  # noqa: PLC0415
+    from repro.isa.operations import LabelRef  # noqa: PLC0415
+    from repro.isa.registers import RegFile, RegisterRef  # noqa: PLC0415
+    from repro.memory.guarded_pointer import GuardedPointer  # noqa: PLC0415
+    from repro.memory.page_table import BlockStatus, LptEntry  # noqa: PLC0415
+    from repro.memory.requests import MemOpKind, MemRequest, MemResponse  # noqa: PLC0415
+    from repro.network.gtlb import GtlbEntry  # noqa: PLC0415
+    from repro.network.message import Message, MessageKind  # noqa: PLC0415
 
     tag = encoded[TAG]
     if tag == "float":
@@ -349,7 +349,7 @@ def encode_counter(counter) -> List[List[object]]:
 
 
 def decode_counter(pairs):
-    from collections import Counter
+    from collections import Counter  # noqa: PLC0415
 
     counter: Counter = Counter()
     for key, value in pairs:

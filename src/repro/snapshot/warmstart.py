@@ -74,7 +74,7 @@ def default_drive(machine, max_cycles: int = 1_000_000) -> Dict[str, object]:
 
 
 def _restore(document):
-    from repro.core.machine import MMachine
+    from repro.core.machine import MMachine  # noqa: PLC0415
 
     return MMachine.from_snapshot(document)
 

@@ -62,7 +62,7 @@ def record_from_metrics(
     map ``verified`` to the record status the same way; the record is the
     serialised form of a :class:`~repro.api.result.RunResult`.
     """
-    from repro.api.result import RunResult
+    from repro.api.result import RunResult  # noqa: PLC0415
 
     return RunResult.from_metrics(
         workload=spec.workload,
@@ -106,7 +106,7 @@ def execute_run(
     try:
         workload = get_workload(spec.workload)
         if checkpoint_every is not None and checkpoint_dir is not None:
-            from repro.snapshot.checkpoint import checkpoint_context
+            from repro.snapshot.checkpoint import checkpoint_context  # noqa: PLC0415
 
             with checkpoint_context(checkpoint_dir, every=checkpoint_every) as policy:
                 metrics = workload.call(spec.params)
@@ -116,7 +116,7 @@ def execute_run(
             metrics = workload.call(spec.params)
         record = record_from_metrics(spec, metrics, time.perf_counter() - start)
     except Exception:
-        from repro.api.result import RunResult
+        from repro.api.result import RunResult  # noqa: PLC0415
 
         record = RunResult.from_error(
             workload=spec.workload,
@@ -165,7 +165,7 @@ class SweepResult:
     @property
     def results(self) -> List["RunResult"]:
         """The records parsed back into typed :class:`RunResult` values."""
-        from repro.api.result import RunResult
+        from repro.api.result import RunResult  # noqa: PLC0415
 
         return [RunResult.from_record(record) for record in self.records]
 
@@ -280,7 +280,7 @@ class SweepRunner:
 
     def _render_report(self, result: SweepResult) -> None:
         """Render the paper-figure report next to the manifest (``--report``)."""
-        from repro.report import Manifest, render_report
+        from repro.report import Manifest, render_report  # noqa: PLC0415
 
         manifest = Manifest.load(result.results_path)
         rendered = render_report(manifest, os.path.join(self.results_dir, "report"))

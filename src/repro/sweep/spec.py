@@ -184,7 +184,7 @@ class SweepSpec:
             data = json.loads(text)
         except json.JSONDecodeError:
             try:
-                import yaml
+                import yaml  # noqa: PLC0415
             except ImportError as error:
                 raise ValueError(
                     f"{path} is not JSON and PyYAML is not installed for YAML specs"

@@ -18,6 +18,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.snapshot.values import decode_value, encode_value
+
 #: Destination value meaning "all output ports".
 BROADCAST = -1
 
@@ -55,6 +57,9 @@ class Crossbar:
         }
         self._broadcast_queue: Deque[Transfer] = deque()
         self._rr_pointer = 0
+        #: Queued-transfer count, maintained incrementally so the per-cycle
+        #: empty-switch check and the quiescence detector are O(1).
+        self._num_pending = 0
         # Statistics
         self.transfers_submitted = 0
         self.transfers_delivered = 0
@@ -74,6 +79,7 @@ class Crossbar:
         else:
             self._queues[dest].append(transfer)
         self.transfers_submitted += 1
+        self._num_pending += 1
 
     # -- delivery ----------------------------------------------------------------
 
@@ -83,6 +89,12 @@ class Crossbar:
         Returns a list of ``(output_port, payload)`` pairs; a broadcast
         payload appears once per output port.
         """
+        if not self._num_pending:
+            # Empty switch: only the arbitration pointer moves.  This is the
+            # overwhelmingly common case on compute-bound cycles.
+            self._rr_pointer = (self._rr_pointer + 1) % self.num_outputs
+            return []
+
         delivered: List[Tuple[int, object]] = []
         budget = self.max_transfers_per_cycle
         ports_used = set()
@@ -93,6 +105,7 @@ class Crossbar:
             if head.ready_cycle > cycle:
                 break
             self._broadcast_queue.popleft()
+            self._num_pending -= 1
             for port in range(self.num_outputs):
                 delivered.append((port, head.payload))
                 ports_used.add(port)
@@ -113,18 +126,21 @@ class Crossbar:
             if head.ready_cycle > cycle:
                 continue
             queue.popleft()
+            self._num_pending -= 1
             delivered.append((port, head.payload))
             ports_used.add(port)
             budget -= 1
             self.transfers_delivered += 1
 
         self._rr_pointer = (self._rr_pointer + 1) % self.num_outputs
-        waiting = sum(
-            1
-            for queue in list(self._queues.values()) + [self._broadcast_queue]
-            for transfer in queue
-            if transfer.ready_cycle <= cycle
-        )
+        waiting = 0
+        for queue in self._queues.values():
+            for transfer in queue:
+                if transfer.ready_cycle <= cycle:
+                    waiting += 1
+        for transfer in self._broadcast_queue:
+            if transfer.ready_cycle <= cycle:
+                waiting += 1
         if waiting:
             self.contention_stalls += waiting
         self.busiest_cycle_transfers = max(self.busiest_cycle_transfers, len(delivered))
@@ -156,8 +172,6 @@ class Crossbar:
     # -- snapshot (repro.snapshot state_dict contract) -----------------------------
 
     def state_dict(self) -> dict:
-        from repro.snapshot.values import encode_value
-
         def encode_queue(queue):
             return [
                 {"dest": t.dest, "payload": encode_value(t.payload),
@@ -177,8 +191,6 @@ class Crossbar:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        from repro.snapshot.values import decode_value
-
         def decode_queue(encoded):
             return deque(
                 Transfer(dest=t["dest"], payload=decode_value(t["payload"]),
@@ -189,6 +201,9 @@ class Crossbar:
         for dest, queue in state["queues"]:
             self._queues[dest] = decode_queue(queue)
         self._broadcast_queue = decode_queue(state["broadcast"])
+        self._num_pending = (
+            sum(len(q) for q in self._queues.values()) + len(self._broadcast_queue)
+        )
         self._rr_pointer = state["rr_pointer"]
         self.transfers_submitted = state["transfers_submitted"]
         self.transfers_delivered = state["transfers_delivered"]
@@ -199,7 +214,7 @@ class Crossbar:
 
     @property
     def pending(self) -> int:
-        return sum(len(q) for q in self._queues.values()) + len(self._broadcast_queue)
+        return self._num_pending
 
     def __repr__(self) -> str:
         return f"Crossbar({self.name!r}, {self.num_outputs} outputs, {self.pending} pending)"

@@ -46,6 +46,7 @@ from repro.api.workload import workload_defaults as _api_workload_defaults
 from repro.api.workload import workload_names as _api_workload_names
 from repro.core.config import MachineConfig, apply_overrides
 from repro.core.machine import MMachine
+from repro.isa.assembler import assemble
 
 WorkloadFactory = Callable[..., Dict[str, object]]
 
@@ -161,7 +162,7 @@ def stencil(
     max_cycles: int = 30000,
 ) -> Dict[str, object]:
     """The Figure 5 stencil smoothing kernel on one node of a mesh."""
-    from repro.workloads.stencil import make_stencil_workload
+    from repro.workloads.stencil import make_stencil_workload  # noqa: PLC0415
 
     machine = _machine(mesh, kernel)
     machine.map_on_node(0, HEAP, num_pages=16)
@@ -190,7 +191,7 @@ def cc_sync(
     max_cycles: int = 100000,
 ) -> Dict[str, object]:
     """The two-H-Thread interlocked loop of Figure 6."""
-    from repro.workloads.microbench import cc_loop_sync_programs
+    from repro.workloads.microbench import cc_loop_sync_programs  # noqa: PLC0415
 
     machine = _machine(mesh, kernel)
     machine.load_vthread(0, 0, cc_loop_sync_programs(iterations))
@@ -216,7 +217,7 @@ def cc_barrier(
     max_cycles: int = 400000,
 ) -> Dict[str, object]:
     """The 4-way CC-register barrier extension of Figure 6."""
-    from repro.workloads.microbench import cc_barrier_programs
+    from repro.workloads.microbench import cc_barrier_programs  # noqa: PLC0415
 
     machine = _machine(mesh, kernel)
     machine.load_vthread(0, 0, cc_barrier_programs(iterations, clusters))
@@ -283,7 +284,7 @@ def message_stream(
     max_cycles: int = 200000,
 ) -> Dict[str, object]:
     """Sustained rate of a stream of remote-store messages."""
-    from repro.workloads.synthetic import remote_store_sender_program
+    from repro.workloads.synthetic import remote_store_sender_program  # noqa: PLC0415
 
     machine = _machine(mesh, kernel)
     far = _far_node(machine)
@@ -382,7 +383,7 @@ def gtlb_mapping(
     page_size_words: int = 512,
 ) -> Dict[str, object]:
     """Page-group interleaving spread and GTLB translation hit rate."""
-    from repro.network.gtlb import GlobalDestinationTable, Gtlb, GtlbEntry
+    from repro.network.gtlb import GlobalDestinationTable, Gtlb, GtlbEntry  # noqa: PLC0415
 
     entry = GtlbEntry(
         base_page=0,
@@ -423,7 +424,7 @@ def remote_access_timeline(
     max_cycles: int = 10000,
 ) -> Dict[str, object]:
     """Milestone timeline of a single remote read or write (Figure 9)."""
-    from repro.analysis.timeline import extract_remote_access_timeline
+    from repro.analysis.timeline import extract_remote_access_timeline  # noqa: PLC0415
 
     if kind not in ("read", "write"):
         raise ValueError("kind must be 'read' or 'write'")
@@ -462,7 +463,7 @@ def remote_access_timeline(
 @workload("table1-access-times", section="Table 1")
 def table1_access_times() -> Dict[str, object]:
     """All twelve Table 1 access-time measurements."""
-    from repro.analysis.latency import SCENARIOS, AccessLatencyHarness
+    from repro.analysis.latency import SCENARIOS, AccessLatencyHarness  # noqa: PLC0415
 
     harness = AccessLatencyHarness()
     results = harness.measure_all()
@@ -487,7 +488,7 @@ def vthread_interleave(
     max_cycles: int = 100000,
 ) -> Dict[str, object]:
     """Pointer-chasing V-Threads sharing one cluster (latency tolerance)."""
-    from repro.workloads.microbench import build_pointer_chain, dependent_load_chain_program
+    from repro.workloads.microbench import build_pointer_chain, dependent_load_chain_program  # noqa: PLC0415
 
     machine = _machine(mesh, kernel)
     machine.map_on_node(0, HEAP, num_pages=4)
@@ -517,7 +518,7 @@ def issue_policy(
     max_cycles: int = 100000,
 ) -> Dict[str, object]:
     """A single arithmetic loop under a thread-selection policy (A2)."""
-    from repro.workloads.microbench import compute_loop_program
+    from repro.workloads.microbench import compute_loop_program  # noqa: PLC0415
 
     machine = _machine(mesh, kernel, **{"cluster.issue_policy": policy})
     machine.load_hthread(0, 0, 0, compute_loop_program(iterations))
@@ -606,7 +607,7 @@ def flood(
     max_cycles: int = 400000,
 ) -> Dict[str, object]:
     """One producer floods the far corner with remote-store messages."""
-    from repro.workloads.synthetic import remote_store_sender_program
+    from repro.workloads.synthetic import remote_store_sender_program  # noqa: PLC0415
 
     machine = _machine(
         mesh,
@@ -643,7 +644,7 @@ def many_to_one_flood(
     max_cycles: int = 400000,
 ) -> Dict[str, object]:
     """Several producers flood one consumer (return-to-sender stress)."""
-    from repro.workloads.synthetic import many_to_one_store_programs
+    from repro.workloads.synthetic import many_to_one_store_programs  # noqa: PLC0415
 
     machine = _machine(
         mesh,
@@ -673,6 +674,74 @@ def many_to_one_flood(
 
 
 # ---------------------------------------------------------------------------
+# Kernel throughput: busy-heavy register stencil
+# ---------------------------------------------------------------------------
+
+
+@workload("busy-stencil", section="Kernel benchmark")
+def busy_stencil(
+    iterations: int = 256,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 1000000,
+) -> Dict[str, object]:
+    """Register-resident integer stencil on every cluster of every node.
+
+    Every cluster runs the same three-point smoothing loop entirely in
+    registers: no loads, no stores, no messages, no idle cycles.  Because an
+    instruction issues on every cluster on (almost) every cycle, the event
+    kernel's idle-cycle skipping cannot help, so this workload measures raw
+    per-tick interpreter cost -- it is the busy-heavy benchmark behind
+    ``BENCH_kernel.json`` and the dispatch-compilation speedup gate.
+    """
+    machine = _machine(mesh, kernel)
+    num_clusters = machine.config.node.num_clusters
+    program = f"""
+        mov i1, #3
+        mov i2, #5
+        mov i3, #7
+        mov i4, #0
+        mov i7, #0
+loop:   add i5, i1, i2
+        add i5, i5, i3
+        shr i6, i5, #1
+        mov i1, i2
+        mov i2, i3
+        mov i3, i6
+        add i7, i7, i6
+        add i4, i4, #1
+        lt i8, i4, #{iterations}
+        br i8, loop
+        halt
+    """
+    # Assemble once and share the (read-only) Program across every cluster:
+    # re-assembling identical text per cluster would dominate setup on large
+    # meshes and skew the mesh-scaling benchmark.
+    assembled = assemble(program, name="busy-stencil")
+    for node in range(machine.num_nodes):
+        for cluster in range(num_clusters):
+            machine.load_hthread(node, 0, cluster, assembled)
+    machine.run_until_user_done(max_cycles=max_cycles)
+
+    a, b, c, checksum = 3, 5, 7, 0
+    for _ in range(iterations):
+        smoothed = (a + b + c) >> 1
+        a, b, c = b, c, smoothed
+        checksum += smoothed
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=all(
+            machine.register_value(node, 0, cluster, "i7") == checksum
+            for node in range(machine.num_nodes)
+            for cluster in range(num_clusters)
+        ),
+        iterations=iterations,
+        checksum=checksum,
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
 # Sections 1/5: area model (analytic)
 # ---------------------------------------------------------------------------
 
@@ -680,7 +749,7 @@ def many_to_one_flood(
 @workload("area-model", section="Sections 1/5")
 def area_model(num_nodes: int = 32) -> Dict[str, object]:
     """The silicon-area / peak-performance comparison of Sections 1 and 5."""
-    from repro.core.area_model import AreaModel, TECH_1993, TECH_1996
+    from repro.core.area_model import AreaModel, TECH_1993, TECH_1996  # noqa: PLC0415
 
     model = AreaModel()
     comparison = model.comparison(num_nodes=num_nodes)

@@ -1,0 +1,134 @@
+"""Differential tests: compiled dispatch plans vs the interpreted issue path.
+
+``MachineConfig.sim.compile_dispatch`` selects between the precompiled
+per-instruction dispatch plans (:mod:`repro.cluster.dispatch`, the default)
+and the original interpreted issue/execute path.  Compilation is a pure
+host-side optimisation: it must be invisible to every observer of the
+architecture -- identical final cycle counts, registers, memory, statistics
+(including the exact per-reason stall strings the issue stage accrues every
+cycle) and the full event trace.
+
+Every scenario below runs one paper-figure workload twice through the typed
+experiment API, once per dispatch mode, and compares the workload metrics,
+the machine statistics and the complete trace event-by-event.  This is the
+stress-test counterpart of ``tests/integration/test_kernel_equivalence.py``
+(which plays the same game for the event kernel vs the naive loop).
+"""
+
+import pytest
+
+from repro.api import ExperimentBuilder
+
+#: Scenario matrix: one workload per major machine subsystem the dispatch
+#: compiler touches -- register stencils (pure compute), message passing
+#: (SEND/queue operands), flooding with NACK/retransmit (event handlers
+#: resident on queue reads every cycle), transparent remote memory (probe
+#: faults + handler dispatch) and coherent caching (GCC registers, native
+#: handler busy charges).
+SCENARIOS = (
+    ("stencil", {"kind": "7pt", "n_hthreads": 2}),
+    ("ping-pong", {"rounds": 8}),
+    ("flood", {"messages": 16}),
+    ("remote-memory", {"mode": "remote", "repeats": 12}),
+    ("coherence", {"repeats": 12}),
+)
+
+
+def _run(name, params, compile_dispatch):
+    """Run *name* once with dispatch compilation on or off; return the
+    RunResult and every machine the workload constructed."""
+    machines = []
+    result = (
+        ExperimentBuilder()
+        .workload(name, **params)
+        .override("sim.compile_dispatch", compile_dispatch)
+        .probe(machines.append)
+        .build()
+        .run()
+    )
+    assert result.ok, f"{name} failed with compile_dispatch={compile_dispatch}"
+    assert machines, "workload constructed no machine"
+    return result, machines
+
+
+def _compare_machines(compiled, interpreted) -> None:
+    """Assert that two finished machines are observably identical."""
+    assert compiled.cycle == interpreted.cycle, "final cycle counts differ"
+
+    compiled_stats = compiled.stats()
+    interpreted_stats = interpreted.stats()
+    for row_compiled, row_interpreted in zip(
+        compiled_stats.node_stats, interpreted_stats.node_stats
+    ):
+        assert row_compiled == row_interpreted, (
+            f"node {row_interpreted['node_id']} stats differ"
+        )
+
+    # Per-thread microarchitectural state, including the per-reason stall
+    # histogram -- compiled stall reasons are precomputed strings and must
+    # match the interpreted path's f-strings byte for byte.
+    for node_compiled, node_interpreted in zip(compiled.nodes, interpreted.nodes):
+        for cl_compiled, cl_interpreted in zip(
+            node_compiled.clusters, node_interpreted.clusters
+        ):
+            assert cl_compiled.icache.fetches == cl_interpreted.icache.fetches
+            for ctx_compiled, ctx_interpreted in zip(
+                cl_compiled.contexts, cl_interpreted.contexts
+            ):
+                assert ctx_compiled.state is ctx_interpreted.state
+                assert ctx_compiled.pc == ctx_interpreted.pc
+                assert (ctx_compiled.instructions_issued
+                        == ctx_interpreted.instructions_issued)
+                assert ctx_compiled.stall_cycles == ctx_interpreted.stall_cycles
+                assert (dict(ctx_compiled.stall_reasons)
+                        == dict(ctx_interpreted.stall_reasons))
+
+    # The full event trace: same events, same order, same payloads.
+    assert len(compiled.tracer.events) == len(interpreted.tracer.events), (
+        "trace lengths differ"
+    )
+    for event_compiled, event_interpreted in zip(
+        compiled.tracer.events, interpreted.tracer.events
+    ):
+        assert event_compiled == event_interpreted
+
+
+@pytest.mark.parametrize(
+    "name, params", SCENARIOS, ids=[name for name, _ in SCENARIOS]
+)
+def test_dispatch_differential(name, params):
+    on_result, on_machines = _run(name, params, True)
+    off_result, off_machines = _run(name, params, False)
+
+    assert on_result.metrics == off_result.metrics, (
+        f"{name}: dispatch compilation changed the workload metrics"
+    )
+    assert len(on_machines) == len(off_machines)
+    for compiled, interpreted in zip(on_machines, off_machines):
+        _compare_machines(compiled, interpreted)
+
+
+def test_compiled_path_actually_engaged():
+    """Guard against the differential test silently comparing the
+    interpreted path against itself: with compilation on, the machine's
+    clusters hold non-empty dispatch-plan caches after a run."""
+    _, machines = _run("stencil", {"kind": "7pt", "n_hthreads": 2}, True)
+    plans = [
+        plan
+        for machine in machines
+        for node in machine.nodes
+        for cluster in node.clusters
+        for slot_plans in cluster._plan_cache
+        if slot_plans
+        for plan in slot_plans
+        if plan is not None
+    ]
+    assert plans, "no compiled dispatch plans found on any cluster"
+
+    _, machines = _run("stencil", {"kind": "7pt", "n_hthreads": 2}, False)
+    for machine in machines:
+        for node in machine.nodes:
+            for cluster in node.clusters:
+                assert all(
+                    not slot_plans for slot_plans in cluster._plan_cache
+                ), "interpreted run unexpectedly compiled dispatch plans"

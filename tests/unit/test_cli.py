@@ -80,6 +80,32 @@ class TestRunCommand:
         assert "bogus" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profile_prints_top_n_table(self, capsys):
+        assert main(["profile", "area-model", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "workload area-model" in out
+        assert "sort cumtime" in out
+        # The pstats table header and at least one profiled frame.
+        assert "ncalls" in out
+        assert "cumtime" in out
+        assert "function calls" in out
+
+    def test_profile_sort_tottime(self, capsys):
+        assert main(["profile", "area-model", "--sort", "tottime"]) == 0
+        out = capsys.readouterr().out
+        assert "sort tottime" in out
+        assert "Ordered by: internal time" in out
+
+    def test_profile_unknown_workload_exits_2(self, capsys):
+        assert main(["profile", "no-such-workload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_profile_bad_limit_exits_2(self, capsys):
+        assert main(["profile", "area-model", "--limit", "0"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+
 class TestSweepArgErrors:
     def test_unknown_spec_exits_2(self, capsys):
         assert main(["sweep", "no-such-spec"]) == 2
