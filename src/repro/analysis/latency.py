@@ -42,16 +42,21 @@ _WARM_SLOT = 1
 
 def measure_load_latency(tracer: Tracer, node: int, slot: int, cluster: int,
                          register: str = "i5", since: int = 0) -> int:
-    """Cycles from load issue to the destination register being written."""
+    """Cycles from load issue to the destination register being written.
+
+    Both passes stream over the trace (:meth:`Tracer.iter_filter`), so the
+    measurement works out-of-core on a disk-backed trace — nothing is
+    materialised.
+    """
     issue_event = None
-    for event in tracer.filter("mem_issue", node=node, since=since):
+    for event in tracer.iter_filter("mem_issue", node=node, since=since):
         if (not event.info.get("store")) and event.info.get("cluster") == cluster \
                 and event.info.get("slot") == slot:
             issue_event = event
             break
     if issue_event is None:
         raise LookupError("no load issue found in the trace")
-    for event in tracer.filter("reg_write", node=node, since=issue_event.cycle):
+    for event in tracer.iter_filter("reg_write", node=node, since=issue_event.cycle):
         if (
             event.info.get("cluster") == cluster
             and event.info.get("slot") == slot
@@ -64,16 +69,16 @@ def measure_load_latency(tracer: Tracer, node: int, slot: int, cluster: int,
 def measure_store_latency(tracer: Tracer, issue_node: int, home_node: int, address: int,
                           slot: int, cluster: int, since: int = 0) -> int:
     """Cycles from store issue (on *issue_node*) to the data being resident at
-    its home (*home_node*)."""
+    its home (*home_node*).  Streams like :func:`measure_load_latency`."""
     issue_event = None
-    for event in tracer.filter("mem_issue", node=issue_node, since=since):
+    for event in tracer.iter_filter("mem_issue", node=issue_node, since=since):
         if event.info.get("store") and event.info.get("cluster") == cluster \
                 and event.info.get("slot") == slot:
             issue_event = event
             break
     if issue_event is None:
         raise LookupError("no store issue found in the trace")
-    for event in tracer.filter("store_complete", node=home_node, since=issue_event.cycle):
+    for event in tracer.iter_filter("store_complete", node=home_node, since=issue_event.cycle):
         if event.info.get("address") == address:
             return event.cycle - issue_event.cycle
     raise LookupError(f"store to {address:#x} never completed (issued at {issue_event.cycle})")

@@ -82,7 +82,9 @@ def timeline_from_records(kind: str, records: List[list]) -> Timeline:
 
 
 def _first(tracer: Tracer, category: str, node: int, since: int = 0, **match) -> Optional[TraceEvent]:
-    for event in tracer.filter(category=category, node=node, since=since):
+    # Streamed (iter_filter), so the extraction works out-of-core on a
+    # disk-backed trace of an arbitrarily long run.
+    for event in tracer.iter_filter(category=category, node=node, since=since):
         if all(event.info.get(key) == value for key, value in match.items()):
             return event
     return None
@@ -148,7 +150,7 @@ def extract_remote_access_timeline(
         timeline.add(reply_deliver.cycle if reply_deliver else None, requesting_node,
                      "reply message received")
         final = None
-        for candidate in tracer.filter("reg_write", node=requesting_node, since=start):
+        for candidate in tracer.iter_filter("reg_write", node=requesting_node, since=start):
             if candidate.info.get("reg") == destination_register and \
                     candidate.info.get("origin") == "xregwr":
                 final = candidate

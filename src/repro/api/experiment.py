@@ -31,6 +31,7 @@ validation and each probe called on the constructed machine.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import ExitStack
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -140,6 +141,24 @@ class ExperimentBuilder:
     def seed(self, seed: int) -> "ExperimentBuilder":
         """Record a workload seed in the result's provenance."""
         self._seed = int(seed)
+        return self
+
+    def trace(
+        self, directory: str, chunk_events: Optional[int] = None
+    ) -> "ExperimentBuilder":
+        """Stream each machine's trace to a ``machine-N`` subdirectory of
+        *directory* (chunked JSONL+gzip, see ``docs/traces.md``) instead of
+        holding it in memory — bounded RSS on million-cycle runs.
+
+        *chunk_events* sets the events-per-chunk buffer size (default
+        4096); smaller chunks mean finer-grained index skipping and a lower
+        memory cap, at the cost of more files.
+        """
+        if chunk_events is not None and chunk_events <= 0:
+            raise ValueError("chunk_events must be a positive event count")
+        self._overrides["trace_dir"] = os.fspath(directory)
+        if chunk_events is not None:
+            self._overrides["trace_chunk_events"] = int(chunk_events)
         return self
 
     def checkpoint(

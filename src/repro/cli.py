@@ -4,7 +4,13 @@ Subcommands:
 
 * ``repro list`` — available workloads and built-in sweep specs.
 * ``repro info`` — the default machine configuration as JSON.
-* ``repro run WORKLOAD [--param k=v ...]`` — one workload, metrics as JSON.
+* ``repro run WORKLOAD [--param k=v ...] [--trace-dir DIR]`` — one
+  workload, metrics as JSON; ``--trace-dir`` streams each machine's trace
+  to disk (``docs/traces.md``) for ``repro trace`` to inspect.
+* ``repro trace {stats,dump,filter} DIR [--machine N] [--category C]
+  [--node N] [--since C]`` — inspect a stored on-disk trace: summary
+  stats, human-readable dump, or JSONL rows, streamed without loading
+  the trace into memory.
 * ``repro profile WORKLOAD [--sort cumtime|tottime|calls] [--limit N]`` —
   run one workload under :mod:`cProfile` and print the hottest functions
   (host-side cost, for tuning the simulator itself).
@@ -100,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
             "override one workload parameter (repeatable); values are "
             "parsed as JSON when possible"
         ),
+    )
+    run.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream each machine's trace to a machine-N subdirectory of DIR "
+            "(chunked JSONL+gzip; inspect with 'repro trace')"
+        ),
+    )
+    run.add_argument(
+        "--trace-chunk-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="events per on-disk trace chunk (default 4096; needs --trace-dir)",
     )
 
     profile = subparsers.add_parser(
@@ -275,6 +297,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    trace = subparsers.add_parser(
+        "trace", help="inspect an on-disk trace written with --trace-dir"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_commands = {
+        "stats": "print summary statistics of a stored trace as JSON",
+        "dump": "print matching events human-readably (streamed)",
+        "filter": "print matching events as JSONL rows (streamed)",
+    }
+    for name, help_text in trace_commands.items():
+        sub = trace_sub.add_parser(name, help=help_text)
+        sub.add_argument(
+            "trace_dir",
+            help="a machine trace directory, or the --trace-dir of a run",
+        )
+        sub.add_argument(
+            "--machine",
+            type=int,
+            default=0,
+            metavar="N",
+            help="which machine-N subdirectory to open (default 0)",
+        )
+        if name in ("dump", "filter"):
+            sub.add_argument(
+                "--category", default=None, help="keep only this trace category"
+            )
+            sub.add_argument(
+                "--node", type=int, default=None, help="keep only this node's events"
+            )
+            sub.add_argument(
+                "--since", type=int, default=None, metavar="C",
+                help="keep only events at or after cycle C",
+            )
+            sub.add_argument(
+                "--limit", type=int, default=None, metavar="N",
+                help="stop after printing N events",
+            )
+
     validate = subparsers.add_parser(
         "validate", help="schema-check a merged sweep-results.json"
     )
@@ -411,15 +471,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except argparse.ArgumentTypeError as error:
         print(f"repro run: {error}", file=sys.stderr)
         return 2
+    if args.trace_chunk_events is not None and args.trace_dir is None:
+        print("repro run: --trace-chunk-events needs --trace-dir", file=sys.stderr)
+        return 2
     try:
-        result = run_workload(args.workload, params)
+        if args.trace_dir is not None:
+            from repro.api.experiment import Experiment  # noqa: PLC0415
+
+            builder = Experiment.builder().workload(args.workload, **params)
+            builder.trace(args.trace_dir, chunk_events=args.trace_chunk_events)
+            result = builder.build().run()
+        else:
+            result = run_workload(args.workload, params)
     except (KeyError, TypeError, ValueError) as error:
         message = error.args[0] if error.args else error
         print(f"repro run: {message}", file=sys.stderr)
         return 2
     payload = {"run_id": result.run_id, "metrics": dict(result.metrics)}
+    if args.trace_dir is not None:
+        payload["trace_dir"] = args.trace_dir
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0 if result.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.trace import Tracer, encode_event  # noqa: PLC0415
+    from repro.core.trace_disk import TraceDirError  # noqa: PLC0415
+
+    try:
+        tracer = Tracer.open(args.trace_dir, machine=args.machine)
+    except TraceDirError as error:
+        print(f"repro trace: {error}", file=sys.stderr)
+        return 2
+    if args.trace_command == "stats":
+        print(json.dumps(tracer.sink.stats(), indent=2, sort_keys=True))
+        return 0
+    # dump and filter stream event by event: constant memory regardless of
+    # trace size.
+    events = tracer.iter_filter(
+        category=args.category, node=args.node, since=args.since
+    )
+    printed = 0
+    for event in events:
+        if args.limit is not None and printed >= args.limit:
+            break
+        if args.trace_command == "dump":
+            print(event)
+        else:
+            print(json.dumps(encode_event(event), separators=(",", ":")))
+        printed += 1
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -568,7 +669,18 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Streaming output (e.g. 'repro trace dump | head') may close the
+        # pipe early; that is a normal way to stop, not an error.  Point
+        # stdout at devnull so interpreter shutdown does not re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":
@@ -583,6 +695,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_resume(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "validate":

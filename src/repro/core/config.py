@@ -18,7 +18,7 @@ described in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, List, Mapping, Tuple, Type
+from typing import Dict, List, Mapping, Optional, Tuple, Type
 
 # ---------------------------------------------------------------------------
 # Architectural constants (fixed by the paper's description of the MAP chip).
@@ -204,6 +204,12 @@ class MachineConfig:
     #: Collect a detailed trace (required by the Figure 9 timeline analysis;
     #: cheap enough to leave on by default).
     trace_enabled: bool = True
+    #: When set, each machine streams its trace to a ``machine-N``
+    #: subdirectory of this path (chunked JSONL+gzip, see ``docs/traces.md``)
+    #: instead of holding events in memory — bounded RSS on long runs.
+    trace_dir: Optional[str] = None
+    #: Events per on-disk trace chunk (buffer high-water mark per machine).
+    trace_chunk_events: int = 4096
 
     @property
     def num_nodes(self) -> int:
@@ -220,6 +226,10 @@ class MachineConfig:
             runtime=overrides.get("runtime", replace(self.runtime)),
             sim=overrides.get("sim", replace(self.sim)),
             trace_enabled=overrides.get("trace_enabled", self.trace_enabled),
+            trace_dir=overrides.get("trace_dir", self.trace_dir),
+            trace_chunk_events=overrides.get(
+                "trace_chunk_events", self.trace_chunk_events
+            ),
         )
 
     @classmethod
@@ -255,6 +265,8 @@ class MachineConfig:
             raise ValueError(f"unknown issue policy {self.cluster.issue_policy!r}")
         if self.sim.kernel not in ("event", "naive"):
             raise ValueError(f"unknown simulation kernel {self.sim.kernel!r}")
+        if self.trace_chunk_events <= 0:
+            raise ValueError("trace_chunk_events must be a positive event count")
 
 
 # ---------------------------------------------------------------------------
@@ -277,12 +289,12 @@ _SECTIONS: Dict[str, Type[object]] = {
 }
 
 #: Top-level ``MachineConfig`` attributes addressable without a section.
-_TOP_LEVEL_KEYS: Tuple[str, ...] = ("trace_enabled",)
+_TOP_LEVEL_KEYS: Tuple[str, ...] = ("trace_enabled", "trace_dir", "trace_chunk_events")
 
 
 def override_keys() -> List[str]:
     """Every valid dotted override key, sorted (``"section.attr"`` plus the
-    top-level ``trace_enabled``)."""
+    top-level trace keys)."""
     keys = list(_TOP_LEVEL_KEYS)
     for section, section_type in _SECTIONS.items():
         keys.extend(f"{section}.{spec.name}" for spec in fields(section_type))

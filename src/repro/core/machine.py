@@ -23,7 +23,7 @@ from repro.core.config import MachineConfig
 from repro.core.ids import IdSource
 from repro.core.scheduler import SimulationKernel
 from repro.core.stats import MachineStats
-from repro.core.trace import Tracer
+from repro.core.trace import Tracer, sink_for_config
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.isa.registers import parse_register
@@ -88,7 +88,7 @@ class MMachine:
         for config_hook in _CONFIG_HOOKS:
             config_hook(self.config)
         self.config.validate()
-        self.tracer = Tracer(self.config.trace_enabled)
+        self.tracer = Tracer(self.config.trace_enabled, sink=sink_for_config(self.config))
         self.gdt = GlobalDestinationTable()
         self.mesh = MeshNetwork(self.config.network)
         #: Machine-owned id allocators: request/message numbering is a pure
@@ -285,78 +285,95 @@ class MMachine:
 
     def run(self, max_cycles: int, until: Optional[Callable[["MMachine"], bool]] = None) -> int:
         """Run for at most *max_cycles* more cycles, stopping early when
-        *until* (if given) returns True.  Returns the cycle count reached."""
+        *until* (if given) returns True.  Returns the cycle count reached.
+
+        Every ``run*`` method flushes the tracer on exit (even on timeout),
+        so a disk-backed trace is always complete and readable afterwards;
+        the flush is a no-op for the default in-memory sink.
+        """
         if self._checkpoint is not None:
             self._checkpoint.on_run_start(self)
-        if self.kernel is not None:
-            return self.kernel.run(max_cycles, until)
-        limit = self.cycle + max_cycles
-        while self.cycle < limit:
-            self.step()
-            if until is not None and until(self):
-                break
-        return self.cycle
+        try:
+            if self.kernel is not None:
+                return self.kernel.run(max_cycles, until)
+            limit = self.cycle + max_cycles
+            while self.cycle < limit:
+                self.step()
+                if until is not None and until(self):
+                    break
+            return self.cycle
+        finally:
+            self.tracer.flush()
 
     def run_until(self, predicate: Callable[["MMachine"], bool], max_cycles: int = 100_000) -> int:
         """Run until *predicate* holds; raises TimeoutError if it never does."""
         if self._checkpoint is not None:
             self._checkpoint.on_run_start(self)
-        if self.kernel is not None:
-            return self.kernel.run_until(predicate, max_cycles)
-        limit = self.cycle + max_cycles
-        while self.cycle < limit:
-            self.step()
-            if predicate(self):
-                return self.cycle
-        raise TimeoutError(
-            f"condition not reached within {max_cycles} cycles (cycle {self.cycle})"
-        )
+        try:
+            if self.kernel is not None:
+                return self.kernel.run_until(predicate, max_cycles)
+            limit = self.cycle + max_cycles
+            while self.cycle < limit:
+                self.step()
+                if predicate(self):
+                    return self.cycle
+            raise TimeoutError(
+                f"condition not reached within {max_cycles} cycles (cycle {self.cycle})"
+            )
+        finally:
+            self.tracer.flush()
 
     def run_until_quiescent(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until nothing has issued and nothing is in flight anywhere for
         *settle_cycles* consecutive cycles."""
         if self._checkpoint is not None:
             self._checkpoint.on_run_start(self)
-        if self.kernel is not None:
-            return self.kernel.run_until_quiescent(max_cycles, settle_cycles)
-        limit = self.cycle + max_cycles
-        quiet = 0
-        while self.cycle < limit:
-            issued = self.step()
-            busy = (
-                issued > 0
-                or self.mesh.busy
-                or any(node.has_pending_work for node in self.nodes)
-            )
-            quiet = 0 if busy else quiet + 1
-            if quiet >= settle_cycles:
-                return self.cycle
-        raise TimeoutError(f"machine did not quiesce within {max_cycles} cycles")
+        try:
+            if self.kernel is not None:
+                return self.kernel.run_until_quiescent(max_cycles, settle_cycles)
+            limit = self.cycle + max_cycles
+            quiet = 0
+            while self.cycle < limit:
+                issued = self.step()
+                busy = (
+                    issued > 0
+                    or self.mesh.busy
+                    or any(node.has_pending_work for node in self.nodes)
+                )
+                quiet = 0 if busy else quiet + 1
+                if quiet >= settle_cycles:
+                    return self.cycle
+            raise TimeoutError(f"machine did not quiesce within {max_cycles} cycles")
+        finally:
+            self.tracer.flush()
 
     def run_until_user_done(self, max_cycles: int = 100_000, settle_cycles: int = 4) -> int:
         """Run until every user H-Thread has halted and the machine is
         otherwise quiescent (handlers drained, network idle)."""
         if self._checkpoint is not None:
             self._checkpoint.on_run_start(self)
-        if self.kernel is not None:
-            return self.kernel.run_until_user_done(max_cycles, settle_cycles)
-        limit = self.cycle + max_cycles
-        quiet = 0
-        while self.cycle < limit:
-            issued = self.step()
-            users_done = all(node.user_threads_finished for node in self.nodes)
-            busy = (
-                issued > 0
-                or self.mesh.busy
-                or any(node.has_pending_work for node in self.nodes)
-            )
-            if users_done and not busy:
-                quiet += 1
-            else:
-                quiet = 0
-            if quiet >= settle_cycles:
-                return self.cycle
-        raise TimeoutError(f"user threads did not finish within {max_cycles} cycles")
+        try:
+            if self.kernel is not None:
+                return self.kernel.run_until_user_done(max_cycles, settle_cycles)
+            limit = self.cycle + max_cycles
+            quiet = 0
+            while self.cycle < limit:
+                issued = self.step()
+                users_done = all(node.user_threads_finished for node in self.nodes)
+                busy = (
+                    issued > 0
+                    or self.mesh.busy
+                    or any(node.has_pending_work for node in self.nodes)
+                )
+                if users_done and not busy:
+                    quiet += 1
+                else:
+                    quiet = 0
+                if quiet >= settle_cycles:
+                    return self.cycle
+            raise TimeoutError(f"user threads did not finish within {max_cycles} cycles")
+        finally:
+            self.tracer.flush()
 
     # ------------------------------------------------------------------- snapshot
 

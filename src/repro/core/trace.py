@@ -4,47 +4,38 @@ The tracer is the common instrumentation channel used by the memory system,
 the clusters, the network interfaces and the runtime handlers.  The
 Figure 9 timelines, the Table 1 latency measurements and several integration
 tests are all computed from the trace, so categories and fields are treated
-as a stable (documented) interface:
+as a stable (documented) interface.  The full category/field table lives in
+``docs/traces.md``; its machine-readable form is :data:`TRACE_CATEGORIES`
+(plus the ``handler_`` prefix for runtime-handler events), and the contract
+test ``tests/integration/test_trace_contract.py`` checks that the simulator,
+the table here and the documentation page cannot drift apart.
 
-=================  ===========================================================
-category           emitted when
-=================  ===========================================================
-``mem_issue``      a load/store issues from a cluster
-``cache_hit``      a request hits in the on-chip cache
-``cache_miss``     a request misses and is forwarded to the memory interface
-``ltlb_miss``      translation misses; an LTLB-miss event will be enqueued
-``block_status_fault`` / ``sync_fault``  the corresponding faults
-``store_complete`` a store's data is resident in the cache/SDRAM
-``mem_response``   a load value starts back toward its cluster
-``reg_write``      a C-Switch register write is applied
-``event_enqueue``  an asynchronous event record enters its hardware queue
-``handler_*``      emitted by runtime handlers (dispatch, completion)
-``msg_inject`` / ``msg_deliver`` / ``msg_ack`` / ``msg_nack`` / ``msg_reject``
-/ ``msg_retransmit``
-                   network interface activity
-``send``           a SEND instruction executed
-``xregwr``         a privileged register write was performed
-``mark``           the ``mark`` debug operation
-``halt``           an H-Thread executed ``halt``
-``exception``      a synchronous exception was raised
-=================  ===========================================================
+Storage is pluggable behind a sink object:
 
-The machine-readable form of this table is :data:`TRACE_CATEGORIES` (plus
-the ``handler_`` prefix for runtime-handler events); the contract test
-``tests/integration/test_trace_contract.py`` checks that every category the
-simulator emits appears there and that a representative workload mix
-exercises each one.
+* :class:`MemoryTraceSink` (the default) keeps events in a plain list —
+  bit-exact with the historical in-memory tracer, including the snapshot
+  ``state_dict`` shape.
+* :class:`repro.core.trace_disk.DiskTraceSink` streams events to an
+  append-only chunked JSONL+gzip directory with a per-chunk category/node
+  index, keeping trace memory bounded on million-cycle runs.  Selected by
+  setting ``MachineConfig.trace_dir``.
+
+Every query goes through :meth:`Tracer.iter_filter`, a streaming iterator
+that works identically over both sinks (the disk sink uses its index to
+skip whole chunks), so analyses never need the full trace in memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
 from repro.snapshot.values import decode_value, encode_value
 
-#: Every trace category the simulator can emit, as documented in the table
-#: above.  This is a stable interface: analyses and tests may rely on these
-#: names, and new instrumentation must extend this set (and the table).
+#: Every trace category the simulator can emit, as documented in
+#: ``docs/traces.md``.  This is a stable interface: analyses and tests may
+#: rely on these names, and new instrumentation must extend this set (and
+#: the documentation table).
 TRACE_CATEGORIES = frozenset({
     "mem_issue",
     "cache_hit",
@@ -93,24 +84,156 @@ class TraceEvent:
         return f"[{self.cycle:6d}] node {self.node} {self.category}: {details}"
 
 
-class Tracer:
-    """Collects :class:`TraceEvent` records for later analysis."""
+def encode_event(event: TraceEvent) -> list:
+    """Encode one event into its serialised row ``[cycle, node, category,
+    info]`` — the format shared by snapshots and on-disk trace chunks."""
+    info = event.info
+    # Fast path: almost every info dict holds only plain scalars.
+    for value in info.values():
+        value_type = type(value)
+        if not (value_type is int or value_type is str
+                or value_type is bool or value is None):
+            return [event.cycle, event.node, event.category, encode_value(info)]
+    return [event.cycle, event.node, event.category, dict(info)]
 
-    def __init__(self, enabled: bool = True):
-        self.enabled = enabled
+
+def decode_event(row: Iterable) -> TraceEvent:
+    """Inverse of :func:`encode_event`."""
+    cycle, node, category, info = row
+    return TraceEvent(cycle=cycle, node=node, category=category,
+                      info=decode_value(info))
+
+
+def _match(event: TraceEvent, category, node, since) -> bool:
+    if category is not None and event.category != category:
+        return False
+    if node is not None and event.node != node:
+        return False
+    if since is not None and event.cycle < since:
+        return False
+    return True
+
+
+class MemoryTraceSink:
+    """The default sink: events in a plain list, encoded lazily for
+    snapshots.  Identical behaviour (and snapshot bytes) to the historical
+    in-memory tracer."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         #: Encoded-event cache for :meth:`state_dict`.  The event list is
         #: append-only between snapshots, so periodic checkpointing encodes
         #: each event once instead of re-encoding the whole (ever-growing)
         #: trace on every save.
-        self._encoded_events: List[list] = []
+        self._encoded: List[list] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._encoded = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def iter_events(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: Optional[int] = None,
+    ) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if _match(event, category, node, since):
+                yield event
+
+    def count(self, category: str) -> int:
+        return sum(1 for event in self.events if event.category == category)
+
+    # -- snapshot -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # Only events recorded since the previous state_dict call need
+        # encoding; the cache keeps periodic checkpointing O(new events)
+        # instead of O(total trace) per save.
+        encoded = self._encoded
+        for event in self.events[len(encoded):]:
+            encoded.append(encode_event(event))
+        return {"events": list(encoded)}
+
+    def load(self, rows: List[list]) -> None:
+        self.events = [decode_event(row) for row in rows]
+        # The loaded rows *are* the encoded form: repopulating the cache
+        # keeps the first post-restore checkpoint O(new events) instead of
+        # re-encoding the entire restored history.
+        self._encoded = list(rows)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for later analysis.
+
+    The tracer is a thin facade over a sink object; pass ``sink`` to select
+    storage (default: :class:`MemoryTraceSink`).  Use
+    :func:`sink_for_config` to build the sink a :class:`MachineConfig`
+    asks for, and :meth:`Tracer.open` to attach read-only to a trace
+    directory a previous run left on disk.
+    """
+
+    def __init__(self, enabled: bool = True, sink=None):
+        self.enabled = enabled
+        self._sink = sink if sink is not None else MemoryTraceSink()
+        self._rebind()
+
+    def _rebind(self) -> None:
+        # record() is on the node tick path; bind the sink's append once so
+        # the default memory sink costs exactly one list.append per event.
+        sink = self._sink
+        self._append = sink.events.append if isinstance(sink, MemoryTraceSink) else sink.append
+
+    @property
+    def sink(self):
+        """The storage sink behind this tracer."""
+        return self._sink
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The full event list.  For the memory sink this is the live list;
+        for a disk sink it *materialises* the whole trace — use
+        :meth:`iter_filter` for bounded-memory access."""
+        sink = self._sink
+        if isinstance(sink, MemoryTraceSink):
+            return sink.events
+        return list(sink.iter_events())
 
     def record(self, cycle: int, node: int, category: str, **info) -> None:
         if not self.enabled:
             return
-        self.events.append(TraceEvent(cycle=cycle, node=node, category=category, info=info))
+        self._append(TraceEvent(cycle=cycle, node=node, category=category, info=info))
 
     # -- queries -----------------------------------------------------------------
+
+    def iter_filter(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> Iterator[TraceEvent]:
+        """Stream matching events in recording order without materialising
+        the trace (on the disk sink, whole chunks are skipped via the
+        per-chunk category/node index)."""
+        events = self._sink.iter_events(category=category, node=node, since=since)
+        if predicate is None:
+            return iter(events)
+        return (event for event in events if predicate(event))
 
     def filter(
         self,
@@ -119,88 +242,105 @@ class Tracer:
         since: Optional[int] = None,
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> List[TraceEvent]:
-        result = []
-        for event in self.events:
-            if category is not None and event.category != category:
-                continue
-            if node is not None and event.node != node:
-                continue
-            if since is not None and event.cycle < since:
-                continue
-            if predicate is not None and not predicate(event):
-                continue
-            result.append(event)
-        return result
+        return list(self.iter_filter(category, node, since, predicate))
 
     def first(self, category: str, **match) -> Optional[TraceEvent]:
-        for event in self.events:
-            if event.category != category:
-                continue
+        for event in self._sink.iter_events(category=category):
             if all(event.info.get(key) == value for key, value in match.items()):
                 return event
         return None
 
     def last(self, category: str, **match) -> Optional[TraceEvent]:
         found = None
-        for event in self.events:
-            if event.category != category:
-                continue
+        for event in self._sink.iter_events(category=category):
             if all(event.info.get(key) == value for key, value in match.items()):
                 found = event
         return found
 
     def count(self, category: str) -> int:
-        return sum(1 for event in self.events if event.category == category)
+        return self._sink.count(category)
 
     def clear(self) -> None:
-        self.events.clear()
-        self._encoded_events = []
+        self._sink.clear()
+
+    def flush(self) -> None:
+        """Persist buffered events (no-op on the memory sink).  The machine
+        calls this when a run method returns, so an on-disk trace is always
+        complete and readable after the run."""
+        self._sink.flush()
+
+    def close(self) -> None:
+        self._sink.close()
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._sink)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return self._sink.iter_events()
 
     # -- snapshot (repro.snapshot state_dict contract) ---------------------------
 
     def state_dict(self) -> dict:
-        """The full trace is part of a snapshot: several workloads verify
-        their results (and the Figure 9 analyses measure latencies) from
-        events recorded *before* the snapshot point, so a resumed run must
-        see the complete history, not just its own tail."""
-
-        def encode_info(info):
-            # Fast path: almost every info dict holds only plain scalars.
-            for value in info.values():
-                value_type = type(value)
-                if not (value_type is int or value_type is str
-                        or value_type is bool or value is None):
-                    return encode_value(info)
-            return dict(info)
-
-        # Only events recorded since the previous state_dict call need
-        # encoding; the cache keeps periodic checkpointing O(new events)
-        # instead of O(total trace) per save.
-        encoded = self._encoded_events
-        for event in self.events[len(encoded):]:
-            encoded.append(
-                [event.cycle, event.node, event.category, encode_info(event.info)]
-            )
-        return {"enabled": self.enabled, "events": list(encoded)}
+        """The trace is part of a snapshot: several workloads verify their
+        results (and the Figure 9 analyses measure latencies) from events
+        recorded *before* the snapshot point, so a resumed run must see the
+        complete history.  The memory sink embeds the full event list; the
+        disk sink records its directory, flushed-chunk offsets and
+        unflushed tail, so a resumed run re-attaches and appends."""
+        state = {"enabled": self.enabled}
+        state.update(self._sink.state_dict())
+        return state
 
     def load_state_dict(self, state: dict) -> None:
-
         self.enabled = state["enabled"]
-        self.events = [
-            TraceEvent(cycle=cycle, node=node, category=category,
-                       info=decode_value(info))
-            for cycle, node, category, info in state["events"]
-        ]
-        self._encoded_events = []
+        if state.get("sink") == "disk":
+            from repro.core.trace_disk import DiskTraceSink  # noqa: PLC0415
+
+            if not isinstance(self._sink, DiskTraceSink):
+                self._sink = DiskTraceSink(
+                    state["trace_dir"], chunk_events=state["chunk_events"]
+                )
+            self._sink.restore(state)
+        else:
+            if not isinstance(self._sink, MemoryTraceSink):
+                self._sink = MemoryTraceSink()
+            self._sink.load(state["events"])
+        self._rebind()
+
+    @classmethod
+    def open(cls, path, machine: int = 0) -> "Tracer":
+        """Attach read-only to a trace directory on disk (out-of-core
+        analysis of a finished run).  *path* may be a machine trace
+        directory (holding ``index.json``) or the ``trace_dir`` a run was
+        given, in which case the *machine*-th machine of that run is
+        opened."""
+        from repro.core.trace_disk import DiskTraceSink, resolve_trace_dir  # noqa: PLC0415
+
+        sink = DiskTraceSink(resolve_trace_dir(path, machine), readonly=True)
+        return cls(enabled=False, sink=sink)
 
     def dump(self, categories: Optional[Iterable[str]] = None) -> str:
-        """Human-readable dump (debugging aid)."""
+        """Human-readable dump (debugging aid).  Streams from the sink —
+        bounded memory apart from the returned string itself."""
         wanted = set(categories) if categories is not None else None
         lines = []
-        for event in self.events:
+        for event in self._sink.iter_events():
             if wanted is None or event.category in wanted:
                 lines.append(str(event))
         return "\n".join(lines)
+
+
+def sink_for_config(config):
+    """The sink a :class:`MachineConfig` asks for: a
+    :class:`~repro.core.trace_disk.DiskTraceSink` under a fresh
+    ``machine-N`` subdirectory of ``config.trace_dir`` when set, else None
+    (the Tracer's default memory sink)."""
+    trace_dir = getattr(config, "trace_dir", None)
+    if not trace_dir:
+        return None
+    from repro.core.trace_disk import DiskTraceSink, machine_trace_dir  # noqa: PLC0415
+
+    return DiskTraceSink(
+        machine_trace_dir(trace_dir),
+        chunk_events=getattr(config, "trace_chunk_events", 4096),
+    )

@@ -1,0 +1,390 @@
+"""Append-only chunked on-disk trace sink.
+
+The disk sink streams :class:`~repro.core.trace.TraceEvent` records to a
+directory of gzip-compressed JSONL chunks plus one ``index.json``, so a
+million-cycle run holds at most one chunk of events in memory.  The layout
+(documented in ``docs/traces.md``) is::
+
+    <trace_dir>/machine-<N>/        one directory per machine of the run
+        index.json                  format tag + per-chunk summaries
+        chunk-00000.jsonl.gz        chunk_events encoded rows, one per line
+        chunk-00001.jsonl.gz
+        ...
+
+Each chunk line is the snapshot row ``[cycle, node, category, info]``
+produced by :func:`repro.core.trace.encode_event` — the same incremental
+encoding the snapshot cache uses, so appending a chunk is O(new events).
+The index records per-chunk event counts, cycle ranges and category/node
+histograms; :meth:`DiskTraceSink.iter_events` uses those to skip whole
+chunks on filtered reads.
+
+Lifecycle.  A freshly-constructed writable sink is *pending*: it has not
+decided between starting fresh and resuming.  The first ``append`` wipes
+whatever a previous run left in the directory and starts a new trace;
+``restore`` (snapshot resume, which always happens before the first
+post-restore event) instead attaches at the snapshot's flushed-chunk
+offset, truncating any chunks written after the snapshot was taken, so a
+killed-and-resumed run appends to the same files with exact event ids.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.trace import TraceEvent, _match, decode_event, encode_event
+
+TRACE_INDEX_NAME = "index.json"
+TRACE_FORMAT_NAME = "repro-trace"
+TRACE_FORMAT_VERSION = 1
+DEFAULT_CHUNK_EVENTS = 4096
+
+
+class TraceDirError(RuntimeError):
+    """A trace directory is missing, inconsistent, or used incorrectly."""
+
+
+# Machines created in one process against the same trace_dir get successive
+# machine-N subdirectories; a fresh process (e.g. a resumed run) starts at
+# machine-0 again, matching construction order — the same ordinal scheme the
+# checkpoint subsystem uses for its machine-N.json files.
+_DIR_ORDINALS: Dict[str, int] = {}
+
+
+def machine_trace_dir(base_dir: str) -> str:
+    """Allocate the next ``machine-N`` subdirectory of *base_dir* for a
+    newly-constructed machine (process-local, by construction order)."""
+    key = os.path.abspath(os.fspath(base_dir))
+    ordinal = _DIR_ORDINALS.get(key, 0)
+    _DIR_ORDINALS[key] = ordinal + 1
+    return os.path.join(os.fspath(base_dir), f"machine-{ordinal}")
+
+
+def resolve_trace_dir(path, machine: int = 0) -> str:
+    """Resolve *path* to a machine trace directory: either *path* itself
+    holds ``index.json``, or its ``machine-<machine>`` subdirectory does."""
+    path = os.fspath(path)
+    if os.path.isfile(os.path.join(path, TRACE_INDEX_NAME)):
+        return path
+    candidate = os.path.join(path, f"machine-{machine}")
+    if os.path.isfile(os.path.join(candidate, TRACE_INDEX_NAME)):
+        return candidate
+    raise TraceDirError(
+        f"no trace found at {path!r}: neither it nor its machine-{machine}/ "
+        f"subdirectory holds {TRACE_INDEX_NAME}"
+    )
+
+
+def _empty_index(chunk_events: int) -> dict:
+    return {
+        "format": TRACE_FORMAT_NAME,
+        "format_version": TRACE_FORMAT_VERSION,
+        "chunk_events": chunk_events,
+        "total_events": 0,
+        "chunks": [],
+    }
+
+
+def _read_index(directory: str) -> Optional[dict]:
+    path = os.path.join(directory, TRACE_INDEX_NAME)
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        index = json.load(handle)
+    if index.get("format") != TRACE_FORMAT_NAME:
+        raise TraceDirError(f"{path} is not a {TRACE_FORMAT_NAME} index")
+    if index.get("format_version") != TRACE_FORMAT_VERSION:
+        raise TraceDirError(
+            f"{path} has format_version {index.get('format_version')!r}; "
+            f"this build reads version {TRACE_FORMAT_VERSION}"
+        )
+    return index
+
+
+def _write_index(directory: str, index: dict) -> None:
+    # Atomic write-then-rename, same discipline as snapshot documents: a
+    # reader (or a killed run's resume) never sees a half-written index.
+    path = os.path.join(directory, TRACE_INDEX_NAME)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def _write_chunk(path: str, rows: List[list]) -> None:
+    tmp_path = path + ".tmp"
+    # mtime=0 keeps chunk bytes deterministic for identical event streams.
+    with open(tmp_path, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as handle:
+            for row in rows:
+                handle.write(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+                handle.write(b"\n")
+    os.replace(tmp_path, path)
+
+
+def _iter_chunk_rows(path: str) -> Iterator[list]:
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield json.loads(line)
+
+
+class DiskTraceSink:
+    """Sink that appends events to chunked JSONL+gzip files under one
+    machine trace directory.  See the module docstring for layout and
+    lifecycle; select it per-run via ``MachineConfig.trace_dir``."""
+
+    kind = "disk"
+
+    def __init__(self, directory, chunk_events: int = DEFAULT_CHUNK_EVENTS,
+                 readonly: bool = False) -> None:
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be a positive event count")
+        self.directory = os.fspath(directory)
+        self.chunk_events = int(chunk_events)
+        self.readonly = readonly
+        self._tail: List[TraceEvent] = []
+        #: Encoded prefix of the tail — the same incremental-encoding cache
+        #: the memory sink keeps, shared between flush() and state_dict().
+        self._encoded_tail: List[list] = []
+        self._index = _read_index(self.directory)
+        #: High-water mark of in-memory (unflushed) events, recorded so the
+        #: bounded-RSS tests can assert trace memory never exceeded a chunk.
+        self.peak_tail_events = 0
+        if readonly:
+            if self._index is None:
+                raise TraceDirError(
+                    f"{self.directory!r} holds no trace ({TRACE_INDEX_NAME} missing)"
+                )
+            self.chunk_events = int(self._index["chunk_events"])
+            self._pending = False
+        else:
+            # Pending: fresh-vs-resume is decided by the first append (fresh)
+            # or by restore() (attach at the snapshot's offsets).
+            self._pending = True
+
+    # -- write path ---------------------------------------------------------------
+
+    def append(self, event: TraceEvent) -> None:
+        if self.readonly:
+            raise TraceDirError(f"trace at {self.directory!r} is open read-only")
+        if self._pending:
+            self._start_fresh()
+        tail = self._tail
+        tail.append(event)
+        if len(tail) > self.peak_tail_events:
+            self.peak_tail_events = len(tail)
+        if len(tail) >= self.chunk_events:
+            self.flush()
+
+    def _start_fresh(self) -> None:
+        # Wipe whatever a previous run left behind so the directory always
+        # describes exactly one run.
+        if self._index is not None:
+            for chunk in self._index["chunks"]:
+                self._remove_chunk(chunk["file"])
+        os.makedirs(self.directory, exist_ok=True)
+        self._index = _empty_index(self.chunk_events)
+        _write_index(self.directory, self._index)
+        self._pending = False
+
+    def _remove_chunk(self, filename: str) -> None:
+        path = os.path.join(self.directory, filename)
+        if os.path.isfile(path):
+            os.remove(path)
+
+    def _encode_pending(self) -> None:
+        encoded = self._encoded_tail
+        for event in self._tail[len(encoded):]:
+            encoded.append(encode_event(event))
+
+    def flush(self) -> None:
+        """Write the buffered tail as the next chunk and update the index.
+        Called automatically when the tail reaches ``chunk_events`` and by
+        the machine when a run method returns (so final short chunks are
+        persisted too)."""
+        if self.readonly or self._pending or not self._tail:
+            return
+        self._encode_pending()
+        ordinal = len(self._index["chunks"])
+        filename = f"chunk-{ordinal:05d}.jsonl.gz"
+        _write_chunk(os.path.join(self.directory, filename), self._encoded_tail)
+        categories: Dict[str, int] = {}
+        nodes: Dict[str, int] = {}
+        for event in self._tail:
+            categories[event.category] = categories.get(event.category, 0) + 1
+            node_key = str(event.node)
+            nodes[node_key] = nodes.get(node_key, 0) + 1
+        self._index["chunks"].append({
+            "file": filename,
+            "events": len(self._tail),
+            "first_cycle": self._tail[0].cycle,
+            "last_cycle": self._tail[-1].cycle,
+            "categories": categories,
+            "nodes": nodes,
+        })
+        self._index["total_events"] += len(self._tail)
+        _write_index(self.directory, self._index)
+        self._tail = []
+        self._encoded_tail = []
+
+    def close(self) -> None:
+        self.flush()
+
+    def clear(self) -> None:
+        if self.readonly:
+            raise TraceDirError(f"trace at {self.directory!r} is open read-only")
+        self._tail = []
+        self._encoded_tail = []
+        self._start_fresh()
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        flushed = 0
+        if not self._pending and self._index is not None:
+            flushed = self._index["total_events"]
+        return flushed + len(self._tail)
+
+    def _flushed_chunks(self) -> List[dict]:
+        if self._pending or self._index is None:
+            return []
+        return self._index["chunks"]
+
+    def iter_events(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: Optional[int] = None,
+    ) -> Iterator[TraceEvent]:
+        node_key = None if node is None else str(node)
+        for chunk in self._flushed_chunks():
+            # The per-chunk histograms let filtered reads skip whole chunks
+            # without decompressing them.
+            if category is not None and category not in chunk["categories"]:
+                continue
+            if node_key is not None and node_key not in chunk["nodes"]:
+                continue
+            if since is not None and chunk["last_cycle"] < since:
+                continue
+            for row in _iter_chunk_rows(os.path.join(self.directory, chunk["file"])):
+                event = decode_event(row)
+                if _match(event, category, node, since):
+                    yield event
+        for event in self._tail:
+            if _match(event, category, node, since):
+                yield event
+
+    def count(self, category: str) -> int:
+        total = sum(
+            chunk["categories"].get(category, 0) for chunk in self._flushed_chunks()
+        )
+        return total + sum(1 for event in self._tail if event.category == category)
+
+    def stats(self) -> dict:
+        """Summary of the stored trace (the ``repro trace stats`` payload)."""
+        chunks = self._flushed_chunks()
+        categories: Dict[str, int] = {}
+        nodes: Dict[str, int] = {}
+        first_cycle: Optional[int] = None
+        last_cycle: Optional[int] = None
+        compressed_bytes = 0
+        for chunk in chunks:
+            for name, count in chunk["categories"].items():
+                categories[name] = categories.get(name, 0) + count
+            for name, count in chunk["nodes"].items():
+                nodes[name] = nodes.get(name, 0) + count
+            if first_cycle is None:
+                first_cycle = chunk["first_cycle"]
+            last_cycle = chunk["last_cycle"]
+            path = os.path.join(self.directory, chunk["file"])
+            if os.path.isfile(path):
+                compressed_bytes += os.path.getsize(path)
+        for event in self._tail:
+            categories[event.category] = categories.get(event.category, 0) + 1
+            node_key = str(event.node)
+            nodes[node_key] = nodes.get(node_key, 0) + 1
+            if first_cycle is None:
+                first_cycle = event.cycle
+            last_cycle = event.cycle
+        return {
+            "trace_dir": self.directory,
+            "events": len(self),
+            "chunks": len(chunks),
+            "chunk_events": self.chunk_events,
+            "first_cycle": first_cycle,
+            "last_cycle": last_cycle,
+            "compressed_bytes": compressed_bytes,
+            "categories": {name: categories[name] for name in sorted(categories)},
+            "nodes": {name: nodes[name] for name in sorted(nodes, key=int)},
+        }
+
+    # -- snapshot -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Path + offsets + unflushed tail.  Unlike the memory sink, the
+        flushed history stays on disk — a snapshot of a long disk-backed run
+        is O(tail), not O(trace)."""
+        self._encode_pending()
+        chunks = self._flushed_chunks()
+        return {
+            "sink": "disk",
+            "trace_dir": self.directory,
+            "chunk_events": self.chunk_events,
+            "flushed_chunks": len(chunks),
+            "flushed_events": sum(chunk["events"] for chunk in chunks),
+            "tail": list(self._encoded_tail),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Attach at the snapshot's offsets: re-point to the snapshot's
+        directory, drop any chunks flushed after the snapshot was taken,
+        and reload the unflushed tail, so the resumed run appends exactly
+        where the snapshotted run stood."""
+        directory = os.fspath(state["trace_dir"])
+        self.directory = directory
+        self.chunk_events = int(state["chunk_events"])
+        self.readonly = False
+        flushed_chunks = state["flushed_chunks"]
+        index = _read_index(directory)
+        if flushed_chunks > 0:
+            if index is None:
+                raise TraceDirError(
+                    f"snapshot references trace at {directory!r} but "
+                    f"{TRACE_INDEX_NAME} is missing"
+                )
+            if len(index["chunks"]) < flushed_chunks:
+                raise TraceDirError(
+                    f"trace at {directory!r} holds {len(index['chunks'])} "
+                    f"chunks but the snapshot expects {flushed_chunks}"
+                )
+            for chunk in index["chunks"][flushed_chunks:]:
+                self._remove_chunk(chunk["file"])
+            index["chunks"] = index["chunks"][:flushed_chunks]
+            index["total_events"] = sum(
+                chunk["events"] for chunk in index["chunks"]
+            )
+            if index["total_events"] != state["flushed_events"]:
+                raise TraceDirError(
+                    f"trace at {directory!r} holds {index['total_events']} "
+                    f"flushed events but the snapshot expects "
+                    f"{state['flushed_events']}"
+                )
+            _write_index(directory, index)
+        else:
+            if index is not None:
+                for chunk in index["chunks"]:
+                    self._remove_chunk(chunk["file"])
+            os.makedirs(directory, exist_ok=True)
+            index = _empty_index(self.chunk_events)
+            _write_index(directory, index)
+        self._index = index
+        self._tail = [decode_event(row) for row in state["tail"]]
+        # As with the memory sink, the loaded rows are already encoded:
+        # reuse them so the first post-restore flush/checkpoint stays
+        # O(new events).
+        self._encoded_tail = list(state["tail"])
+        self._pending = False

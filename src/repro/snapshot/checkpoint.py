@@ -25,11 +25,16 @@ deterministic across the original and the resumed process.
 the clock first reaches the requested cycle and, when ``stop_after_snapshot``
 is set, aborts the run by raising :class:`SnapshotTaken`.
 
-Cost model: a save serialises the complete machine state including the full
-trace.  Newly recorded trace events are encoded incrementally (the tracer
-caches encoded events between saves), but writing the document is still
-proportional to total state size, so pick ``every`` as a small multiple of
-how many cycles of progress you can afford to lose, not smaller.
+Cost model: a save serialises the complete machine state.  With the default
+in-memory trace sink that includes the full trace — newly recorded events
+are encoded incrementally (the tracer caches encoded events between saves),
+but writing the document is still proportional to total state size — so
+pick ``every`` as a small multiple of how many cycles of progress you can
+afford to lose, not smaller.  With a disk-backed trace
+(``MachineConfig.trace_dir``, see ``docs/traces.md``) the snapshot carries
+only the trace file path, chunk offsets and unflushed tail, so checkpoint
+size stays bounded on long runs and a resumed run appends to the same
+trace files.
 """
 
 from __future__ import annotations

@@ -69,6 +69,8 @@ def config_to_dict(config: MachineConfig) -> Dict[str, object]:
                 section[key] = list(value)
         document[section_name] = section
     document["trace_enabled"] = config.trace_enabled
+    document["trace_dir"] = config.trace_dir
+    document["trace_chunk_events"] = config.trace_chunk_events
     return document
 
 
@@ -87,8 +89,12 @@ def config_from_dict(document: Dict[str, object]) -> MachineConfig:
         if section_name == "network" and "mesh_shape" in data:
             data["mesh_shape"] = tuple(data["mesh_shape"])
         sections[section_name] = section_class(**data)
+    trace_dir = document.get("trace_dir")
     config = MachineConfig(
-        trace_enabled=bool(document.get("trace_enabled", True)), **sections
+        trace_enabled=bool(document.get("trace_enabled", True)),
+        trace_dir=None if trace_dir is None else str(trace_dir),
+        trace_chunk_events=int(document.get("trace_chunk_events", 4096)),
+        **sections,
     )
     config.validate()
     return config
@@ -102,7 +108,9 @@ def check_config_matches(config: MachineConfig, document: Dict[str, object]) -> 
     if ours == theirs:
         return
     differences = []
-    for section_name in list(_SECTIONS) + ["trace_enabled"]:
+    for section_name in list(_SECTIONS) + [
+        "trace_enabled", "trace_dir", "trace_chunk_events"
+    ]:
         if ours.get(section_name) != (theirs or {}).get(section_name):
             differences.append(section_name)
     raise ConfigMismatchError(

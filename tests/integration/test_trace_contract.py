@@ -120,3 +120,106 @@ def test_handler_categories_use_the_documented_prefix(emitted_categories):
     }
     assert handler_categories, "workload mix exercised no handler categories"
     assert handler_categories <= TRACE_CATEGORIES
+
+
+# ---------------------------------------------------------------------------
+# Sink equivalence: the contract holds whichever sink records the run.
+# ---------------------------------------------------------------------------
+
+import json  # noqa: E402
+import os  # noqa: E402
+import re  # noqa: E402
+
+from repro.api import Experiment  # noqa: E402
+from repro.core.trace import encode_event  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: The scenario-matrix mix, shrunk: one traffic pattern per paper section.
+SINK_PARITY_WORKLOADS = (
+    ("stencil", {"kind": "7pt", "n_hthreads": 2}),
+    ("ping-pong", {"rounds": 4}),
+    ("flood", {"messages": 8}),
+    ("remote-memory", {"repeats": 4}),
+    ("coherence", {"repeats": 4}),
+)
+
+
+def _run_with_probe(name, params, trace_dir=None):
+    machines = []
+    builder = Experiment.builder().workload(name, **params).probe(machines.append)
+    if trace_dir is not None:
+        builder = builder.trace(trace_dir, chunk_events=64)
+    with builder.build() as experiment:
+        result = experiment.run()
+    assert result.verified, f"{name} failed under trace_dir={trace_dir}"
+    return machines
+
+
+def _stream(machine):
+    return [
+        json.dumps(encode_event(event), sort_keys=True)
+        for event in machine.tracer.iter_filter()
+    ]
+
+
+@pytest.mark.parametrize("name,params", SINK_PARITY_WORKLOADS,
+                         ids=[name for name, _ in SINK_PARITY_WORKLOADS])
+def test_disk_sink_stream_is_byte_identical_to_memory(name, params, tmp_path):
+    """Recording through the disk sink must not change what is recorded:
+    same machines, same event streams byte-for-byte, same category sets."""
+    in_memory = _run_with_probe(name, params)
+    on_disk = _run_with_probe(name, params, trace_dir=tmp_path / "trace")
+    assert len(in_memory) == len(on_disk)
+    for memory_machine, disk_machine in zip(in_memory, on_disk):
+        assert disk_machine.tracer.sink.kind == "disk"
+        assert _stream(disk_machine) == _stream(memory_machine)
+        assert _collect(disk_machine) == _collect(memory_machine)
+
+
+def test_disk_sink_bounds_trace_memory(tmp_path):
+    """A flood recorded to disk must never buffer more than one chunk of
+    events in memory — the property that lets million-cycle runs finish at
+    bounded RSS."""
+    machines = _run_with_probe("flood", {"messages": 24}, trace_dir=tmp_path / "t")
+    sinks = [machine.tracer.sink for machine in machines]
+    assert all(sink.kind == "disk" for sink in sinks)
+    total = sum(len(sink) for sink in sinks)
+    chunks = sum(sink.stats()["chunks"] for sink in sinks)
+    assert total > 64, "flood too small to exercise chunk rollover"
+    assert chunks >= 2, "expected multiple flushed chunks"
+    for sink in sinks:
+        assert sink.peak_tail_events <= 64, (
+            f"disk sink buffered {sink.peak_tail_events} events "
+            f"(chunk_events=64): trace memory is not bounded"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The docs/traces.md table is the same contract, human-readable.
+# ---------------------------------------------------------------------------
+
+def _documented_in_traces_md():
+    """Categories from the docs/traces.md table: the first backticked cell
+    of each table row."""
+    path = os.path.join(REPO_ROOT, "docs", "traces.md")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    categories = set()
+    for line in text.splitlines():
+        match = re.match(r"\|\s*`([a-z0-9_*]+)`\s*\|", line)
+        if match:
+            categories.add(match.group(1))
+    return categories
+
+
+def test_docs_table_matches_trace_categories():
+    """Every category in ``TRACE_CATEGORIES`` has a row in the
+    docs/traces.md table and vice versa — the docs cannot drift from the
+    code."""
+    documented = _documented_in_traces_md()
+    assert documented, "no category table found in docs/traces.md"
+    missing = TRACE_CATEGORIES - documented
+    stale = documented - TRACE_CATEGORIES
+    assert not missing, f"categories missing from docs/traces.md: {sorted(missing)}"
+    assert not stale, f"docs/traces.md rows for unknown categories: {sorted(stale)}"

@@ -1,0 +1,147 @@
+"""End-to-end guarantees of the disk trace sink on real runs.
+
+Three properties that together make ``--trace-dir`` safe for
+million-cycle runs (scaled down here to event-count-equivalent sizes so
+the suite stays fast):
+
+* a long streaming run records a byte-identical event stream to the
+  in-memory reference while never buffering more than one chunk;
+* the paper's analyses (the Figure 9 timeline, the Table 1 latency
+  measurements) compute identical numbers from either sink — including
+  from a trace directory reopened after the run with ``Tracer.open``;
+* a snapshot taken mid-run round-trips the disk sink: a machine rebuilt
+  from the snapshot appends to the same trace directory, truncating any
+  post-snapshot chunks, and the final stream is byte-identical to an
+  uninterrupted run.
+"""
+
+import json
+
+from repro import MMachine, MachineConfig
+from repro.analysis.latency import measure_load_latency
+from repro.analysis.timeline import extract_remote_access_timeline
+from repro.core.trace import Tracer, encode_event
+
+REGION = 0x40000
+
+
+def _stream(tracer):
+    return [
+        json.dumps(encode_event(event), sort_keys=True)
+        for event in tracer.iter_filter()
+    ]
+
+
+def _message_stream_machine(count, trace_dir=None, chunk_events=128):
+    from repro.workloads.synthetic import remote_store_sender_program
+
+    config = MachineConfig.small(2, 1, 1)
+    if trace_dir is not None:
+        config.trace_dir = str(trace_dir)
+        config.trace_chunk_events = chunk_events
+    machine = MMachine(config)
+    far = machine.num_nodes - 1
+    machine.map_on_node(far, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    machine.load_hthread(0, 0, 0, remote_store_sender_program(REGION, dip, count))
+    return machine
+
+
+def test_long_streaming_run_matches_memory_run(tmp_path):
+    """A sustained message stream (the event-count-equivalent of a
+    million-cycle run) through the disk sink: bounded buffering, many
+    chunks, and the exact event stream of the in-memory reference."""
+    reference = _message_stream_machine(256)
+    reference.run_until_user_done(max_cycles=500_000)
+
+    streamed = _message_stream_machine(256, trace_dir=tmp_path / "t")
+    streamed.run_until_user_done(max_cycles=500_000)
+
+    assert streamed.cycle == reference.cycle
+    sink = streamed.tracer.sink
+    assert sink.kind == "disk"
+    assert sink.peak_tail_events <= 128
+    assert sink.stats()["chunks"] >= 5
+    assert len(streamed.tracer) == len(reference.tracer)
+    assert _stream(streamed.tracer) == _stream(reference.tracer)
+
+    # The same stream again, out-of-core from the closed directory.
+    reopened = Tracer.open(tmp_path / "t")
+    assert _stream(reopened) == _stream(reference.tracer)
+    assert reopened.count("send") == reference.tracer.count("send")
+    assert reopened.first("send").cycle == reference.tracer.first("send").cycle
+    assert reopened.last("msg_deliver").cycle == reference.tracer.last("msg_deliver").cycle
+
+
+def _remote_read_machine(trace_dir=None):
+    config = MachineConfig.small(2, 1, 1)
+    if trace_dir is not None:
+        config.trace_dir = str(trace_dir)
+        config.trace_chunk_events = 32
+    machine = MMachine(config)
+    machine.map_on_node(1, REGION, num_pages=1)
+    machine.write_word(REGION, 11)
+    machine.load_hthread(0, 0, 0, "ld i5, i1\nhalt", registers={"i1": REGION})
+    machine.run_until(lambda m: m.register_full(0, 0, 0, "i5"), max_cycles=10_000)
+    return machine
+
+
+def test_analyses_are_sink_independent(tmp_path):
+    """Figure 9 timelines and Table 1 latencies must not depend on where
+    the trace lives: memory sink, live disk sink, and a reopened trace
+    directory all produce identical numbers."""
+    memory = _remote_read_machine()
+    disk = _remote_read_machine(trace_dir=tmp_path / "t")
+    tracers = {
+        "memory": memory.tracer,
+        "disk": disk.tracer,
+        "reopened": Tracer.open(tmp_path / "t"),
+    }
+    timelines = {
+        name: extract_remote_access_timeline(tracer, "read", address=REGION).to_records()
+        for name, tracer in tracers.items()
+    }
+    assert timelines["disk"] == timelines["memory"]
+    assert timelines["reopened"] == timelines["memory"]
+    assert timelines["memory"], "timeline extraction found no milestones"
+
+    latencies = {
+        name: measure_load_latency(tracer, node=0, slot=0, cluster=0)
+        for name, tracer in tracers.items()
+    }
+    assert latencies["disk"] == latencies["memory"]
+    assert latencies["reopened"] == latencies["memory"]
+    assert latencies["memory"] > 0
+
+
+def test_snapshot_resume_appends_to_same_trace(tmp_path):
+    """Kill-and-resume over the disk sink: snapshot mid-run, let the
+    original machine run on (writing chunks the snapshot does not know
+    about), then rebuild from the snapshot.  The restored machine must
+    re-attach to the snapshot's own trace directory, truncate the
+    post-snapshot chunks, and append — ending with the exact stream (and
+    event ids) of an uninterrupted run."""
+    reference = _message_stream_machine(64, trace_dir=tmp_path / "ref", chunk_events=32)
+    reference.run_until_user_done(max_cycles=500_000)
+    reference_stream = _stream(Tracer.open(tmp_path / "ref"))
+    assert len(reference_stream) == len(reference.tracer)
+
+    victim = _message_stream_machine(64, trace_dir=tmp_path / "run", chunk_events=32)
+    victim.run(400)
+    still_running = not all(node.user_threads_finished for node in victim.nodes)
+    assert still_running, "snapshot point is past completion"
+    snapshot_path = str(tmp_path / "mid.json")
+    victim.save_snapshot(snapshot_path)
+    # The doomed continuation: chunks on disk the snapshot never saw.
+    victim.run(400)
+    assert len(Tracer.open(tmp_path / "run")) > 0
+
+    resumed = MMachine.from_snapshot(snapshot_path)
+    assert resumed.tracer.sink.kind == "disk"
+    assert resumed.tracer.sink.directory.startswith(str(tmp_path / "run"))
+    assert resumed.cycle == 400
+    resumed.run_until_user_done(max_cycles=500_000)
+
+    assert resumed.cycle == reference.cycle
+    resumed_stream = _stream(Tracer.open(tmp_path / "run"))
+    assert resumed_stream == reference_stream

@@ -80,6 +80,65 @@ class TestRunCommand:
         assert "bogus" in capsys.readouterr().err
 
 
+class TestTraceCommand:
+    def _record_run(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "trace")
+        assert main(["run", "message-stream", "--param", "count=16",
+                     "--trace-dir", trace_dir,
+                     "--trace-chunk-events", "32"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_dir"] == trace_dir
+        return trace_dir
+
+    def test_run_then_stats(self, tmp_path, capsys):
+        trace_dir = self._record_run(tmp_path, capsys)
+        assert main(["trace", "stats", trace_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["events"] > 0
+        assert stats["chunks"] >= 1
+        assert stats["chunk_events"] == 32
+        assert "send" in stats["categories"]
+
+    def test_dump_streams_readable_events(self, tmp_path, capsys):
+        trace_dir = self._record_run(tmp_path, capsys)
+        assert main(["trace", "dump", trace_dir,
+                     "--category", "send", "--limit", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        assert all("send" in line for line in lines)
+
+    def test_filter_emits_jsonl_rows(self, tmp_path, capsys):
+        trace_dir = self._record_run(tmp_path, capsys)
+        assert main(["trace", "filter", trace_dir,
+                     "--category", "msg_deliver", "--node", "1"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.strip().splitlines()]
+        assert rows, "no msg_deliver rows on the receiving node"
+        for cycle, node, category, info in rows:
+            assert node == 1 and category == "msg_deliver"
+            assert isinstance(info, dict)
+
+    def test_filter_since_restricts_cycles(self, tmp_path, capsys):
+        trace_dir = self._record_run(tmp_path, capsys)
+        assert main(["trace", "filter", trace_dir, "--since", "100"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.strip().splitlines()]
+        assert rows and all(row[0] >= 100 for row in rows)
+
+    def test_missing_trace_dir_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "stats", str(tmp_path / "absent")]) == 2
+        assert "trace" in capsys.readouterr().err
+
+    def test_missing_machine_exits_2(self, tmp_path, capsys):
+        trace_dir = self._record_run(tmp_path, capsys)
+        assert main(["trace", "stats", trace_dir, "--machine", "7"]) == 2
+        assert capsys.readouterr().err
+
+    def test_chunk_events_without_trace_dir_exits_2(self, capsys):
+        assert main(["run", "area-model", "--trace-chunk-events", "64"]) == 2
+        assert "--trace-dir" in capsys.readouterr().err
+
+
 class TestProfileCommand:
     def test_profile_prints_top_n_table(self, capsys):
         assert main(["profile", "area-model", "--limit", "5"]) == 0

@@ -61,6 +61,14 @@ def test_relative_links_resolve(path):
 def test_readme_links_into_docs():
     with open(os.path.join(REPO_ROOT, "README.md"), "r", encoding="utf-8") as handle:
         text = handle.read()
-    for target in ("docs/architecture.md", "docs/cli.md", "docs/sweeps.md",
-                   "docs/snapshots.md"):
+    for target in ("docs/architecture.md", "docs/cli.md", "docs/traces.md",
+                   "docs/sweeps.md", "docs/snapshots.md"):
         assert target in text, f"README.md does not link {target}"
+
+
+def test_traces_page_is_linked_from_architecture_and_cli():
+    """docs/traces.md is the trace-format interface page; the architecture
+    module map and the CLI reference must point at it."""
+    for name in ("architecture.md", "cli.md"):
+        with open(os.path.join(REPO_ROOT, "docs", name), "r", encoding="utf-8") as handle:
+            assert "traces.md" in handle.read(), f"docs/{name} does not link traces.md"
