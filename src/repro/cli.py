@@ -34,6 +34,12 @@ Subcommands:
   results file and exit nonzero on invalid, missing or failed records;
   ``--roundtrip`` additionally requires every record to survive the
   ``record -> RunResult -> record`` round-trip byte-identically.
+* ``repro fuzz [--seed N] [--runs K] [--shrink] [--repro-dir D]
+  [--knob k=v ...]`` — differential fuzzing (``docs/fuzzing.md``): each
+  seeded generated program must be bit-identical across event/naive
+  kernels x compiled dispatch on/off and across a mid-run snapshot
+  round-trip; failures shrink to a minimal program and are written as
+  replayable repro files (``repro fuzz --replay FILE``).
 
 All workload execution goes through the typed :mod:`repro.api` facade.
 """
@@ -353,6 +359,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differentially fuzz the simulator with seeded random programs",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="first seed of the campaign (default 0)",
+    )
+    fuzz.add_argument(
+        "--runs",
+        type=int,
+        default=10,
+        metavar="K",
+        help="number of consecutive seeds to check (default 10)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="shrink failing programs to a minimal reproducer before dumping",
+    )
+    fuzz.add_argument(
+        "--repro-dir",
+        default=None,
+        metavar="DIR",
+        help="write failing programs as replayable repro files into DIR",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-check one repro file instead of running a seeded campaign",
+    )
+    fuzz.add_argument(
+        "--knob",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override one generator knob, e.g. mesh=[2,2,1], max_threads=8, "
+            "fault_density=0.5, nack_storm=true (repeatable; see "
+            "docs/fuzzing.md)"
+        ),
+    )
+
     return parser
 
 
@@ -668,6 +721,45 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import GeneratorKnobs, check_program, fuzz_many, load_repro  # noqa: PLC0415
+
+    if args.replay is not None:
+        try:
+            program = load_repro(args.replay)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"repro fuzz: cannot load {args.replay}: {error}", file=sys.stderr)
+            return 2
+        outcome = check_program(program)
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        return 0 if outcome.ok else 1
+    if args.runs < 1:
+        print("repro fuzz: --runs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        knob_overrides = parse_params(args.knob)
+    except argparse.ArgumentTypeError as error:
+        print(f"repro fuzz: {error}", file=sys.stderr)
+        return 2
+    try:
+        params = GeneratorKnobs().to_params()
+        params.update(knob_overrides)
+        knobs = GeneratorKnobs.from_params(params)
+    except (TypeError, ValueError) as error:
+        print(f"repro fuzz: bad --knob: {error}", file=sys.stderr)
+        return 2
+    summary = fuzz_many(
+        seed=args.seed,
+        runs=args.runs,
+        knobs=knobs,
+        shrink=args.shrink,
+        repro_dir=args.repro_dir,
+        log=lambda message: print(f"repro fuzz: {message}", file=sys.stderr),
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
@@ -701,6 +793,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.memory.secded import secded_decode, secded_encode
+from repro.memory.secded import SecdedError, secded_decode, secded_encode
 from repro.snapshot.values import decode_value, encode_value
 
 
@@ -68,6 +68,7 @@ class Sdram:
         self.row_hits = 0
         self.row_misses = 0
         self.corrected_errors = 0
+        self.detected_errors = 0
 
     # -- address helpers ---------------------------------------------------------
 
@@ -120,7 +121,13 @@ class Sdram:
         self.reads += 1
         stored = self._words.get(address, 0 if not self.secded_enabled else secded_encode(0))
         if self.secded_enabled and isinstance(stored, int):
-            value, corrected = secded_decode(stored)
+            try:
+                value, corrected = secded_decode(stored)
+            except SecdedError:
+                # Double-bit (uncorrectable) error: account it before
+                # propagating so callers can report detected-vs-corrected.
+                self.detected_errors += 1
+                raise
             if corrected:
                 self.corrected_errors += 1
                 # Scrub: rewrite the corrected word.
@@ -179,6 +186,7 @@ class Sdram:
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
             "corrected_errors": self.corrected_errors,
+            "detected_errors": self.detected_errors,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -192,6 +200,8 @@ class Sdram:
         self.row_hits = state["row_hits"]
         self.row_misses = state["row_misses"]
         self.corrected_errors = state["corrected_errors"]
+        # .get(): snapshots written before the counter existed load fine.
+        self.detected_errors = state.get("detected_errors", 0)
 
     # -- introspection -----------------------------------------------------------
 

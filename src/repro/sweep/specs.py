@@ -124,7 +124,8 @@ def _scenario_matrix() -> SweepSpec:
     return SweepSpec(
         name="scenario-matrix",
         description=(
-            "Expanded grid: mesh sizes 2x2 to 8x8 x five workloads x "
+            "Expanded grid: mesh sizes 2x2 to 8x8 x five communication "
+            "workloads plus the fault-injection/multiprogramming family, "
             "event vs naive kernel (minutes of host time; the naive "
             "kernel on 64 nodes dominates)."
         ),
@@ -153,6 +154,27 @@ def _scenario_matrix() -> SweepSpec:
                 "coherence",
                 params={"repeats": 12},
                 axes={"mesh": _MESHES, "kernel": _KERNELS},
+            ),
+            # Fault-injection & multiprogramming family (ROADMAP item 3).
+            AxesGroup(
+                "multitenant-timeshare",
+                params={"seed": 0, "jobs": 8},
+                axes={"mesh": _MESHES, "kernel": _KERNELS},
+            ),
+            AxesGroup(
+                "protection-storm",
+                params={"violators": 9},
+                axes={"mesh": [[2, 2, 1]], "kernel": _KERNELS},
+            ),
+            AxesGroup(
+                "secded-soak",
+                params={"words": 32, "single_flips": 8, "double_flips": 4},
+                axes={"kernel": _KERNELS},
+            ),
+            AxesGroup(
+                "nack-flood",
+                params={"senders": 3, "messages_each": 12},
+                axes={"mesh": [[2, 2, 1], [4, 4, 1]], "kernel": _KERNELS},
             ),
         ],
     )

@@ -32,6 +32,7 @@ new code should use :mod:`repro.api` instead.
 from __future__ import annotations
 
 import json
+import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.deprecation import warn_once
@@ -761,3 +762,293 @@ def area_model(num_nodes: int = 32) -> Dict[str, object]:
         "processor_fraction_1993": round(TECH_1993.processor_fraction_of_chip, 4),
         "processor_fraction_1996": round(TECH_1996.processor_fraction_of_chip, 4),
     }
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection & multiprogramming family (ROADMAP item 3)
+# ---------------------------------------------------------------------------
+
+
+@workload("multitenant-timeshare", section="Sections 3.2/4.4 (multiprogramming)")
+def multitenant_timeshare(
+    seed: int = 0,
+    jobs: int = 8,
+    mesh: Sequence[int] = (2, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 200000,
+) -> Dict[str, object]:
+    """Several independent seeded jobs timeshare the mesh, one per context.
+
+    The jobs come from the :mod:`repro.fuzz` program generator with all fault
+    knobs at zero: a deterministic mix of compute loops, guarded-pointer
+    memory threads, SEND traffic and remote reads, each in its own hthread
+    slot with a private address-space slice — the multiprogrammed operating
+    point the paper's Section 3.2 multithreading argument is about.
+    """
+    from repro.cluster.hthread import ThreadState  # noqa: PLC0415
+    from repro.fuzz.generator import GeneratorKnobs, generate_program  # noqa: PLC0415
+
+    knobs = GeneratorKnobs(
+        mesh=tuple(mesh),
+        max_threads=jobs,
+        fault_density=0.0,
+        secded_single_flips=0,
+        secded_double_flips=0,
+        max_cycles=max_cycles,
+    )
+    program = generate_program(seed, knobs)
+    machine = program.build_machine(kernel=kernel)
+    program.run(machine)
+    states = [
+        machine.nodes[thread.node].context(thread.slot, thread.cluster).state
+        for thread in program.threads
+    ]
+    metrics = _base_metrics(machine)
+    metrics.update(
+        jobs=len(program.threads),
+        verified=all(state is ThreadState.HALTED for state in states),
+    )
+    return metrics
+
+
+@workload("protection-storm", section="Section 4.4 (guarded pointers)")
+def protection_storm(
+    violators: int = 5,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 20000,
+) -> Dict[str, object]:
+    """Concurrent guarded-pointer violations must all fault without wedging.
+
+    Every violation mode the generator knows (plain-int access under
+    protection, out-of-segment load, read-only store, out-of-segment LEA,
+    unprivileged SETPTR forge) runs concurrently alongside one clean memory
+    thread.  All violators must end FAULTED with an ``exception`` trace
+    event, the clean thread must finish, and the machine must go quiescent —
+    the "protection faults are cheap and contained" claim of Section 4.4.
+    """
+    from repro.cluster.hthread import ThreadState  # noqa: PLC0415
+    from repro.fuzz.generator import (  # noqa: PLC0415
+        HEAP_BASE,
+        VIOLATION_MODES,
+        GeneratedProgram,
+        GeneratorKnobs,
+        ThreadSpec,
+    )
+
+    num_nodes = int(mesh[0]) * int(mesh[1]) * int(mesh[2])
+    if violators < 1 or violators > 4 * 4 * num_nodes - 1:
+        raise ValueError("violators must leave a free context for the clean thread")
+    knobs = GeneratorKnobs(mesh=tuple(mesh), max_cycles=max_cycles)
+    program = GeneratedProgram(
+        seed=0,
+        knobs=knobs,
+        mesh=tuple(mesh),
+        config_overrides={"runtime.protection_enabled": True},
+        max_cycles=max_cycles,
+    )
+    placements = [
+        (node, slot, cluster)
+        for node in range(num_nodes)
+        for slot in range(4)
+        for cluster in range(4)
+    ]
+    for index in range(violators):
+        node, slot, cluster = placements[index]
+        base = HEAP_BASE + index * 0x1000
+        program.mappings.append((node, base, 1))
+        program.threads.append(
+            ThreadSpec(
+                node=node,
+                slot=slot,
+                cluster=cluster,
+                kind="violator",
+                params={"base": base, "mode": VIOLATION_MODES[index % len(VIOLATION_MODES)]},
+            )
+        )
+    clean_node, clean_slot, clean_cluster = placements[violators]
+    clean_base = HEAP_BASE + violators * 0x1000
+    program.mappings.append((clean_node, clean_base, 1))
+    program.threads.append(
+        ThreadSpec(
+            node=clean_node,
+            slot=clean_slot,
+            cluster=clean_cluster,
+            kind="local-memory",
+            params={
+                "base": clean_base,
+                "offsets": [0, 3, 7],
+                "values": [11, 22, 33],
+                "iterations": 4,
+            },
+        )
+    )
+    machine = program.build_machine(kernel=kernel)
+    program.run(machine)
+    states = [
+        machine.nodes[thread.node].context(thread.slot, thread.cluster).state
+        for thread in program.threads
+    ]
+    faulted = sum(1 for state in states[:violators] if state is ThreadState.FAULTED)
+    exceptions = sum(
+        1 for event in machine.tracer.events if event.category == "exception"
+    )
+    metrics = _base_metrics(machine)
+    metrics.update(
+        violators=violators,
+        faulted=faulted,
+        exceptions=exceptions,
+        verified=(
+            faulted == violators
+            and exceptions >= violators
+            and states[violators] is ThreadState.HALTED
+        ),
+    )
+    return metrics
+
+
+@workload("secded-soak", section="Section 2 (SECDED memory interface)")
+def secded_soak(
+    words: int = 24,
+    single_flips: int = 6,
+    double_flips: int = 3,
+    seed: int = 0,
+    mesh: Sequence[int] = (1, 1, 1),
+    kernel: str = "event",
+    max_cycles: int = 20000,
+) -> Dict[str, object]:
+    """Seeded bit-flip soak through the SECDED path with full accounting.
+
+    Writes a block of seeded words, flips one stored codeword bit in
+    ``single_flips`` of them and two bits in ``double_flips`` words placed
+    beyond the program's read range, then reads the block back from a user
+    thread (cache-cold, so every read decodes through
+    :mod:`repro.memory.secded`).  Single-bit flips must be corrected and
+    scrubbed, double-bit flips must raise detected-uncorrectable, and the
+    DRAM's ``corrected``/``detected`` counters must match exactly.
+    """
+    from repro.fuzz.generator import (  # noqa: PLC0415
+        SECDED_BASE,
+        GeneratedProgram,
+        GeneratorKnobs,
+        ThreadSpec,
+    )
+    from repro.memory.secded import SecdedError  # noqa: PLC0415
+
+    if single_flips > words:
+        raise ValueError("cannot single-flip more words than are read")
+    if words > 128 or double_flips > 16:
+        raise ValueError("soak block exceeds its one-page layout")
+    rng = random.Random(seed)
+    knobs = GeneratorKnobs(mesh=tuple(mesh), max_cycles=max_cycles)
+    program = GeneratedProgram(seed=seed, knobs=knobs, mesh=tuple(mesh), max_cycles=max_cycles)
+    program.mappings.append((0, SECDED_BASE, 1))
+    originals = [rng.randint(1, (1 << 48) - 1) for _ in range(words)]
+    for offset, value in enumerate(originals):
+        program.initial_words.append((SECDED_BASE + offset, value))
+    for offset in rng.sample(range(words), single_flips):
+        program.single_flips.append((0, SECDED_BASE + offset, rng.randrange(72)))
+    # Double-bit words live past the read range (and past any cache block the
+    # reader touches) so the user thread never trips the uncorrectable path.
+    poison = []
+    for index in range(double_flips):
+        offset = 256 + index
+        value = rng.randint(1, (1 << 48) - 1)
+        program.initial_words.append((SECDED_BASE + offset, value))
+        bit_a, bit_b = rng.sample(range(72), 2)
+        program.double_flips.append((0, SECDED_BASE + offset, bit_a, bit_b))
+        poison.append(SECDED_BASE + offset)
+    program.threads.append(
+        ThreadSpec(
+            node=0,
+            slot=0,
+            cluster=0,
+            kind="secded-read",
+            params={"base": SECDED_BASE, "words": words},
+        )
+    )
+    machine = program.build_machine(kernel=kernel)
+    program.run(machine)
+    memory = machine.nodes[0].memory
+    corrected = memory.sdram.corrected_errors
+    # Directly probe the poisoned words: each must raise detected-uncorrectable.
+    uncorrectable = 0
+    for address in poison:
+        try:
+            memory.sdram.read_word(memory.translate(address))
+        except SecdedError:
+            uncorrectable += 1
+    # After the scrub, every stored codeword in the read range decodes to the
+    # originally written value without further corrections.
+    scrub_base = memory.sdram.corrected_errors
+    survivors = [
+        memory.sdram.read_word(memory.translate(SECDED_BASE + offset))
+        for offset in range(words)
+    ]
+    metrics = _base_metrics(machine)
+    metrics.update(
+        words=words,
+        corrected=corrected,
+        detected=memory.sdram.detected_errors,
+        verified=(
+            corrected == single_flips
+            and uncorrectable == double_flips
+            and memory.sdram.detected_errors == double_flips
+            and memory.sdram.corrected_errors == scrub_base
+            and survivors == originals
+        ),
+    )
+    return metrics
+
+
+@workload("nack-flood", section="Ablation A4 (Section 3.1)")
+def nack_flood(
+    senders: int = 3,
+    messages_each: int = 12,
+    queue_words: int = 6,
+    retransmit_interval: int = 8,
+    mesh: Sequence[int] = (2, 2, 1),
+    kernel: str = "event",
+    max_cycles: int = 400000,
+) -> Dict[str, object]:
+    """Sustained NACK/retransmit storm against one consumer node.
+
+    Like ``many-to-one-flood`` but tuned so the consumer's receive queue is
+    guaranteed to overflow: the run only verifies if the network actually
+    NACKed and retransmitted while still delivering every store — the
+    return-to-sender throttling claim of Section 3.1 under sustained
+    pressure rather than a transient burst.
+    """
+    from repro.workloads.synthetic import many_to_one_store_programs  # noqa: PLC0415
+
+    machine = _machine(
+        mesh,
+        kernel,
+        **{
+            "network.message_queue_words": queue_words,
+            "network.retransmit_interval": retransmit_interval,
+        },
+    )
+    if senders >= machine.num_nodes:
+        raise ValueError("need one node per sender plus the consumer")
+    machine.map_on_node(0, REGION, num_pages=1)
+    dip = machine.runtime.dip("remote_store")
+    programs = many_to_one_store_programs(senders, messages_each, REGION, dip)
+    for sender, program in programs.items():
+        machine.load_hthread(sender + 1, 0, 0, program)
+    machine.run_until_user_done(max_cycles=max_cycles)
+    total = senders * messages_each
+    nacks = sum(node.net.nacks_received for node in machine.nodes)
+    retransmissions = sum(node.net.retransmissions for node in machine.nodes)
+    metrics = _base_metrics(machine)
+    metrics.update(
+        verified=(
+            all(machine.read_word(REGION + i) != 0 for i in range(total))
+            and nacks > 0
+            and retransmissions > 0
+        ),
+        nacks=nacks,
+        retransmissions=retransmissions,
+        max_queue_words=machine.nodes[0].msg_queue_p0.max_occupancy,
+    )
+    return metrics

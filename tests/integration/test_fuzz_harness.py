@@ -1,0 +1,230 @@
+"""Integration tests for the differential fuzzing harness (`repro.fuzz`).
+
+Three contracts: (1) pinned seed ranges pass the full differential grid —
+event vs naive kernel x compiled dispatch on/off plus a mid-run snapshot
+round-trip; (2) a deliberately injected "kernel bug" (the mutation seam) is
+*caught* — the harness is not vacuously green; (3) failing programs shrink
+to a minimal reproducer and round-trip through the repro-file format, and
+the ``repro fuzz`` CLI drives all of it.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import (
+    GeneratorKnobs,
+    check_program,
+    dump_repro,
+    first_difference,
+    fuzz_many,
+    generate_program,
+    load_repro,
+    shrink_program,
+)
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pinned_seeds_pass(self, seed):
+        outcome = check_program(generate_program(seed))
+        assert outcome.ok, outcome.failures
+        assert outcome.cycles > 0
+
+    def test_fault_heavy_knobs_pass(self):
+        knobs = GeneratorKnobs(
+            mesh=(2, 2, 1), max_threads=8, fault_density=0.6, nack_storm=True
+        )
+        for seed in range(3):
+            outcome = check_program(generate_program(seed, knobs))
+            assert outcome.ok, outcome.failures
+
+
+class TestMutationCheck:
+    """A tampered observation on any grid point must be reported."""
+
+    def test_stat_mutation_caught(self):
+        def mutate(machine, kernel, compile_dispatch):
+            if kernel == "naive" and compile_dispatch:
+                machine.nodes[0].clusters[0].contexts[0].instructions_issued += 1
+
+        outcome = check_program(generate_program(0), _mutate=mutate)
+        assert not outcome.ok
+        stages = [failure["stage"] for failure in outcome.failures]
+        assert stages == ["differential[naive,dispatch=True]"]
+
+    def test_trace_mutation_caught(self):
+        def mutate(machine, kernel, compile_dispatch):
+            if kernel == "event" and not compile_dispatch:
+                machine.tracer.events.pop()
+
+        outcome = check_program(generate_program(2), _mutate=mutate)
+        assert not outcome.ok
+        assert outcome.failures[0]["stage"] == "differential[event,dispatch=False]"
+        assert "trace" in outcome.failures[0]["detail"]
+
+    def test_snapshot_mutation_caught(self):
+        def mutate(machine, kernel, compile_dispatch):
+            if kernel == "snapshot":
+                machine.nodes[0].clusters[0].contexts[0].stall_cycles += 1
+
+        outcome = check_program(generate_program(1), _mutate=mutate)
+        assert not outcome.ok
+        assert outcome.failures[0]["stage"].startswith("snapshot[")
+
+    def test_every_naive_grid_point_is_actually_run(self):
+        seen = []
+
+        def mutate(machine, kernel, compile_dispatch):
+            seen.append((kernel, compile_dispatch))
+
+        check_program(generate_program(0), _mutate=mutate)
+        assert ("event", True) in seen
+        assert ("event", False) in seen
+        assert ("naive", True) in seen
+        assert ("naive", False) in seen
+        assert ("snapshot", True) in seen
+
+
+class TestFirstDifference:
+    def test_equal_is_none(self):
+        assert first_difference({"a": [1, {"b": 2}]}, {"a": [1, {"b": 2}]}) is None
+
+    def test_reports_deep_path(self):
+        diff = first_difference({"a": [1, {"b": 2}]}, {"a": [1, {"b": 3}]})
+        assert diff == "$.a[1].b: 2 != 3"
+
+    def test_reports_missing_and_extra_keys(self):
+        assert "missing" in first_difference({"a": 1}, {})
+        assert "unexpected" in first_difference({}, {"a": 1})
+
+    def test_reports_length_and_type(self):
+        assert "length" in first_difference([1], [1, 2])
+        assert "type" in first_difference(1, "1")
+
+
+class TestShrinkAndRepro:
+    def test_shrinker_minimises(self):
+        program = generate_program(2)
+        assert len(program.threads) > 1
+
+        def fails(candidate):
+            return any(thread.kind == "secded-read" for thread in candidate.threads)
+
+        shrunk = shrink_program(program, is_failing=fails)
+        assert len(shrunk.threads) == 1
+        assert shrunk.threads[0].kind == "secded-read"
+        assert not shrunk.single_flips
+
+    def test_shrinker_keeps_non_failing_program(self):
+        program = generate_program(0)
+        shrunk = shrink_program(program, is_failing=lambda candidate: False)
+        assert shrunk.to_dict() == program.to_dict()
+
+    def test_shrinker_halves_iterations(self):
+        program = generate_program(0)
+        compute = [t for t in program.threads if t.kind in ("compute", "local-memory")]
+        if not compute:
+            pytest.skip("seed 0 drew no iterating threads")
+        shrunk = shrink_program(program, is_failing=lambda candidate: True)
+        for thread in shrunk.threads:
+            if "iterations" in thread.params:
+                assert thread.params["iterations"] == 1
+
+    def test_repro_file_round_trip(self, tmp_path):
+        program = generate_program(3)
+        outcome = check_program(program)
+        path = dump_repro(program, outcome, str(tmp_path / "repro.json"))
+        loaded = load_repro(path)
+        assert loaded.to_dict() == program.to_dict()
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["fuzz_repro"] == 1
+        assert payload["failure"]["seed"] == 3
+
+    def test_load_repro_prefers_shrunk(self, tmp_path):
+        program = generate_program(2)
+        shrunk = shrink_program(
+            program,
+            is_failing=lambda c: any(t.kind == "secded-read" for t in c.threads),
+        )
+        path = dump_repro(
+            program, check_program(program), str(tmp_path / "repro.json"), shrunk=shrunk
+        )
+        assert load_repro(path).to_dict() == shrunk.to_dict()
+
+    def test_load_repro_rejects_garbage(self, tmp_path):
+        path = tmp_path / "nonsense.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_repro(str(path))
+
+
+class TestCampaign:
+    def test_fuzz_many_summary(self):
+        lines = []
+        summary = fuzz_many(seed=0, runs=3, log=lines.append)
+        assert summary["ok"] is True
+        assert summary["passed"] == 3
+        assert summary["failed"] == []
+        assert len(lines) == 3
+
+    def test_failures_are_dumped(self, tmp_path, monkeypatch):
+        import repro.fuzz.harness as harness_module
+
+        real_check = harness_module.check_program
+
+        def sabotaged(program, _mutate=None):
+            def mutate(machine, kernel, compile_dispatch):
+                if kernel == "naive":
+                    machine.nodes[0].clusters[0].contexts[0].instructions_issued += 1
+
+            return real_check(program, _mutate=mutate)
+
+        monkeypatch.setattr(harness_module, "check_program", sabotaged)
+        summary = harness_module.fuzz_many(seed=0, runs=2, repro_dir=str(tmp_path))
+        assert summary["ok"] is False
+        assert len(summary["failed"]) == 2
+        for entry in summary["failed"]:
+            assert entry["repro_file"]
+            loaded = load_repro(entry["repro_file"])
+            # The real harness passes the dumped program: the bug was in the
+            # sabotaged kernel, not the generated program.
+            assert real_check(loaded).ok
+
+
+class TestCli:
+    def test_fuzz_cli_passes(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--runs", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["passed"] == 2
+
+    def test_fuzz_cli_knobs(self, capsys):
+        code = main(
+            ["fuzz", "--runs", "1", "--knob", "mesh=[1,1,1]", "--knob", "max_threads=2"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["knobs"]["mesh"] == [1, 1, 1]
+        assert payload["knobs"]["max_threads"] == 2
+
+    def test_fuzz_cli_bad_knob(self, capsys):
+        assert main(["fuzz", "--runs", "1", "--knob", "nonsense=1"]) == 2
+        assert "bad --knob" in capsys.readouterr().err
+
+    def test_fuzz_cli_bad_runs(self, capsys):
+        assert main(["fuzz", "--runs", "0"]) == 2
+
+    def test_fuzz_cli_replay(self, tmp_path, capsys):
+        program = generate_program(1)
+        path = dump_repro(program, check_program(program), str(tmp_path / "r.json"))
+        assert main(["fuzz", "--replay", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["seed"] == 1
+
+    def test_fuzz_cli_replay_missing_file(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/repro.json"]) == 2
+        assert "cannot load" in capsys.readouterr().err

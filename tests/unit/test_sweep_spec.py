@@ -150,10 +150,16 @@ class TestBuiltinSpecs:
 
     def test_scenario_matrix_scales_mesh_and_kernel(self):
         runs = get_spec("scenario-matrix").expand()
-        meshes = {tuple(run.params["mesh"]) for run in runs}
+        # secded-soak is single-node and sweeps no mesh axis.
+        meshes = {tuple(run.params["mesh"]) for run in runs if "mesh" in run.params}
         kernels = {run.params["kernel"] for run in runs}
         assert (8, 8, 1) in meshes and (2, 2, 1) in meshes
         assert kernels == {"event", "naive"}
+
+    def test_scenario_matrix_includes_fault_family(self):
+        workloads = {run.workload for run in get_spec("scenario-matrix").expand()}
+        assert {"multitenant-timeshare", "protection-storm",
+                "secded-soak", "nack-flood"} <= workloads
 
 
 class TestSchema:
